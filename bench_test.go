@@ -1,0 +1,112 @@
+package crn
+
+// One benchmark per reproduction experiment (DESIGN.md's E1–E12).
+// Each iteration regenerates the experiment's table at Quick scale, so
+// `go test -bench=.` exercises the same code paths cmd/crnbench uses
+// for EXPERIMENTS.md, with per-iteration costs comparable across
+// changes. Micro-benchmarks for the hot paths live in the internal
+// packages (bitset, rng, graph, radio).
+
+import (
+	"testing"
+
+	"crn/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	def, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := def.Run(experiments.Quick, uint64(i)+1)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkE1Count regenerates E1 (Lemma 1: COUNT accuracy).
+func BenchmarkE1Count(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2SeekVsC regenerates E2 (Theorem 4: scaling in c).
+func BenchmarkE2SeekVsC(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3SeekVsDelta regenerates E3 (Theorem 4: scaling in Δ).
+func BenchmarkE3SeekVsDelta(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4SeekHeterogeneity regenerates E4 (Theorem 4: kmax/k).
+func BenchmarkE4SeekHeterogeneity(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5KSeek regenerates E5 (Theorem 6: CKSEEK filter).
+func BenchmarkE5KSeek(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Coloring regenerates E6 (Lemma 8: coloring phases).
+func BenchmarkE6Coloring(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Broadcast regenerates E7 (Theorem 9: broadcast vs D).
+func BenchmarkE7Broadcast(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8BroadcastDelta regenerates E8 (Theorem 9: D·Δ term).
+func BenchmarkE8BroadcastDelta(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9HittingGame regenerates E9 (Lemma 10/Theorem 13).
+func BenchmarkE9HittingGame(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10CompleteGame regenerates E10 (Lemma 12).
+func BenchmarkE10CompleteGame(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11TreeBound regenerates E11 (Theorem 14).
+func BenchmarkE11TreeBound(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12PriorityBias regenerates E12 (Section 7 discussion).
+func BenchmarkE12PriorityBias(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Jamming regenerates E13 (primary-user robustness).
+func BenchmarkE13Jamming(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Rendezvous regenerates E14 (meetings vs deliveries).
+func BenchmarkE14Rendezvous(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15AsyncStart regenerates E15 (staggered starts).
+func BenchmarkE15AsyncStart(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16Amortization regenerates E16 (setup amortization).
+func BenchmarkE16Amortization(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkDiscoverCSeek measures an end-to-end CSEEK discovery run
+// through the public API.
+func BenchmarkDiscoverCSeek(b *testing.B) {
+	s, err := NewScenario(ScenarioConfig{Topology: GNP, N: 16, C: 5, K: 2, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Discover(CSeek, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastCGCast measures an end-to-end CGCAST broadcast
+// (abstract exchange mode) through the public API.
+func BenchmarkBroadcastCGCast(b *testing.B) {
+	s, err := NewScenario(ScenarioConfig{Topology: Chain, N: 16, C: 4, K: 2, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Broadcast(0, "m", uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

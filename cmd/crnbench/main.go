@@ -1,0 +1,83 @@
+// Command crnbench regenerates the paper-reproduction experiments
+// (E1–E12, see DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	crnbench [-scale quick|full] [-run E1,E7] [-seed 42] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"crn/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnbench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		scaleName = fs.String("scale", "full", "experiment scale: quick or full")
+		runList   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed      = fs.Uint64("seed", 42, "master random seed")
+		list      = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	defs := experiments.All()
+	if *list {
+		for _, d := range defs {
+			fmt.Fprintf(w, "%-4s %-34s %s\n", d.ID, d.Title, d.Claim)
+		}
+		return nil
+	}
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleName) {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	}
+
+	if *runList != "" {
+		var selected []experiments.Definition
+		for _, id := range strings.Split(*runList, ",") {
+			d, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, d)
+		}
+		defs = selected
+	}
+
+	fmt.Fprintf(w, "# CRN primitives experiment suite (scale=%s, seed=%d)\n\n", *scaleName, *seed)
+	for _, d := range defs {
+		start := time.Now()
+		tbl, err := d.Run(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.ID, err)
+		}
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "_(%s took %.1fs)_\n\n", d.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

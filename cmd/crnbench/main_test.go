@@ -1,0 +1,39 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}, io.Discard); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}, io.Discard); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	if err := run([]string{"-scale", "quick", "-run", "E10", "-seed", "3"}, io.Discard); err != nil {
+		t.Fatalf("quick E10: %v", err)
+	}
+}

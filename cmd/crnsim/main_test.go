@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if err := run([]string{"-algo", "quantum"}, io.Discard); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunBadScenario(t *testing.T) {
+	if err := run([]string{"-n", "1"}, io.Discard); err == nil {
+		t.Error("single-node scenario accepted")
+	}
+	if err := run([]string{"-topology", "donut"}, io.Discard); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunDiscoveryScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	cases := [][]string{
+		{"-topology", "star", "-n", "8", "-c", "3", "-k", "2", "-algo", "cseek"},
+		{"-topology", "path", "-n", "6", "-c", "3", "-k", "2", "-algo", "naive", "-json"},
+		{"-topology", "path", "-n", "6", "-c", "3", "-k", "2", "-algo", "uniform"},
+		{"-topology", "gnp", "-n", "10", "-c", "8", "-k", "2", "-kmax", "5", "-algo", "ckseek"},
+		{"-topology", "path", "-n", "6", "-c", "3", "-k", "2", "-algo", "flood"},
+		{"-topology", "chain", "-n", "8", "-c", "3", "-k", "2", "-algo", "cgcast", "-json"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	if err := run([]string{"-n", "4", "-c", "2", "-k", "5"}, io.Discard); err == nil {
+		t.Error("k > c accepted")
+	}
+}
+
+func TestRunTextAndJSONL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	if err := run([]string{"-n", "4", "-c", "2", "-k", "1", "-max", "5"}, io.Discard); err != nil {
+		t.Fatalf("text mode: %v", err)
+	}
+	if err := run([]string{"-n", "4", "-c", "2", "-k", "1", "-jsonl"}, io.Discard); err != nil {
+		t.Fatalf("jsonl mode: %v", err)
+	}
+}

@@ -1,0 +1,673 @@
+// Package crn is the public entry point of the cognitive-radio-network
+// communication-primitives library, a reproduction of "Communication
+// Primitives in Cognitive Radio Networks" (Gilbert, Kuhn, Zheng;
+// PODC 2017).
+//
+// The model: n nodes, each with a transceiver that can access c
+// channels (different nodes can access different channels, with no
+// global channel labels); neighbors share between k and kmax channels;
+// time is slotted; a listener hears a message iff exactly one neighbor
+// broadcasts on its channel; there is no collision detection.
+//
+// The package offers the paper's algorithms over generated or custom
+// network scenarios:
+//
+//   - Discover — neighbor discovery with CSEEK (Theorem 4) or the
+//     naive / uniform-sweep baselines;
+//   - DiscoverK — k̂-neighbor discovery with CKSEEK (Theorem 6);
+//   - Broadcast — global broadcast with CGCAST (Theorem 9);
+//   - Flood — the naive broadcast baseline.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every claim in the paper.
+package crn
+
+import (
+	"fmt"
+
+	"crn/internal/chanassign"
+	"crn/internal/core"
+	"crn/internal/graph"
+	"crn/internal/radio"
+	"crn/internal/rng"
+	"crn/internal/spectrum"
+)
+
+// Topology names a built-in network generator.
+type Topology string
+
+// Built-in topologies.
+const (
+	// GNP is an Erdős–Rényi G(n, 0.3) graph conditioned on connectivity.
+	GNP Topology = "gnp"
+	// Star is a star with node 0 at the center (Δ = n-1).
+	Star Topology = "star"
+	// Path is a path (D = n-1).
+	Path Topology = "path"
+	// Grid is a near-square grid.
+	Grid Topology = "grid"
+	// Chain is a chain of 4-cliques bridged in a line (both Δ and D).
+	Chain Topology = "chain"
+	// Tree is a complete tree with branching min{c,Δ}-1 (Theorem 14's
+	// worst case).
+	Tree Topology = "tree"
+	// UnitDisk is a random geometric graph in the unit square.
+	UnitDisk Topology = "unitdisk"
+)
+
+// Algorithm names a neighbor-discovery algorithm.
+type Algorithm string
+
+// Discovery algorithms.
+const (
+	// CSeek is the paper's CSEEK (Theorem 4).
+	CSeek Algorithm = "cseek"
+	// Naive is the introduction's random-hop baseline, O~((c²/k)·Δ).
+	Naive Algorithm = "naive"
+	// Uniform is the back-off-sweep baseline without density sampling,
+	// matching the Zeng et al. bound O~(c²/k + cΔ/k).
+	Uniform Algorithm = "uniform"
+)
+
+// ScenarioConfig describes a generated scenario.
+type ScenarioConfig struct {
+	// Topology selects the graph generator.
+	Topology Topology
+	// N is the number of nodes.
+	N int
+	// C is the number of channels per node.
+	C int
+	// K is the guaranteed number of shared channels per neighbor pair.
+	K int
+	// KMax, when > K, produces a heterogeneous assignment in which
+	// roughly half the edges share KMax channels. Zero means KMax = K.
+	KMax int
+	// Density is the edge probability for GNP and the radius for
+	// UnitDisk; zero picks a sensible default.
+	Density float64
+	// Seed drives scenario generation.
+	Seed uint64
+	// Tuning overrides the algorithms' constant multipliers; nil uses
+	// defaults.
+	Tuning *core.Tuning
+}
+
+// Scenario is an instantiated network: topology, channel assignment,
+// and derived model parameters.
+type Scenario struct {
+	g  *graph.Graph
+	a  *chanassign.Assignment
+	p  core.Params
+	nw *radio.Network
+	d  int
+}
+
+// Jammer models primary-user occupancy: Jammed reports whether the
+// given global channel is held by a primary user in the given slot.
+// Frames broadcast on occupied channels are lost and listeners tuned
+// there hear silence. Implementations must be deterministic functions
+// of (slot, channel) and safe for concurrent readers.
+type Jammer interface {
+	Jammed(slot int64, channel int32) bool
+}
+
+// SetPeriodicPrimaryUsers installs duty-cycled primary users: every
+// global channel is occupied for onSlots out of every period slots,
+// with the phase staggered across channels so some spectrum is always
+// free. Pass onSlots = 0 to clear.
+func (s *Scenario) SetPeriodicPrimaryUsers(period, onSlots int64) error {
+	if onSlots == 0 {
+		s.nw.Jammer = nil
+		return nil
+	}
+	stride := period / int64(s.a.Universe)
+	if stride < 1 {
+		stride = 1
+	}
+	j, err := spectrum.NewPeriodic(period, onSlots, stride, nil)
+	if err != nil {
+		return fmt.Errorf("crn: %w", err)
+	}
+	s.nw.Jammer = j
+	return nil
+}
+
+// SetMarkovPrimaryUsers installs bursty primary users: each global
+// channel flips between idle and occupied with the given per-slot
+// transition probabilities (idle→busy pBusy, busy→idle pFree), over a
+// precomputed horizon of `horizon` slots (0 picks a horizon generous
+// enough for a CSEEK run).
+func (s *Scenario) SetMarkovPrimaryUsers(pBusy, pFree float64, horizon int64, seed uint64) error {
+	if horizon == 0 {
+		probe, err := core.NewCSeek(s.p, core.Env{ID: 0, C: s.p.C, Rand: rng.New(1)})
+		if err != nil {
+			return fmt.Errorf("crn: %w", err)
+		}
+		horizon = 2 * probe.TotalSlots()
+	}
+	j, err := spectrum.NewMarkov(s.a.Universe, horizon, pBusy, pFree, seed)
+	if err != nil {
+		return fmt.Errorf("crn: %w", err)
+	}
+	s.nw.Jammer = j
+	return nil
+}
+
+// SetJammer installs a custom primary-user model (nil to clear).
+func (s *Scenario) SetJammer(j Jammer) {
+	if j == nil {
+		s.nw.Jammer = nil
+		return
+	}
+	s.nw.Jammer = j
+}
+
+// Universe returns the number of global channels in the scenario.
+func (s *Scenario) Universe() int { return s.a.Universe }
+
+// NewScenario generates a scenario from config.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("crn: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.C < 1 {
+		return nil, fmt.Errorf("crn: need at least 1 channel, got %d", cfg.C)
+	}
+	if cfg.K < 1 || cfg.K > cfg.C {
+		return nil, fmt.Errorf("crn: k must be in [1,c] = [1,%d], got %d", cfg.C, cfg.K)
+	}
+	kmax := cfg.KMax
+	if kmax == 0 {
+		kmax = cfg.K
+	}
+	if kmax < cfg.K || kmax > cfg.C {
+		return nil, fmt.Errorf("crn: kmax must be in [k,c] = [%d,%d], got %d", cfg.K, cfg.C, kmax)
+	}
+	r := rng.New(cfg.Seed)
+
+	g, err := buildTopology(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	var a *chanassign.Assignment
+	if kmax == cfg.K {
+		a, err = chanassign.SharedCore(g.N(), cfg.C, cfg.K, r)
+	} else {
+		a, err = chanassign.Heterogeneous(g, cfg.C, cfg.K, kmax, 0.5, r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newScenario(g, a, cfg.Tuning)
+}
+
+// CustomConfig describes an explicit scenario: an edge list plus
+// per-node global channel sets. The caller is responsible for making
+// every adjacent pair share at least one channel; NewCustomScenario
+// verifies it.
+type CustomConfig struct {
+	// N is the number of nodes.
+	N int
+	// Edges lists undirected edges between nodes in [0, N).
+	Edges [][2]int
+	// Universe is the number of global channels.
+	Universe int
+	// Channels[u] lists node u's global channels; all nodes must have
+	// the same count (the model's per-transceiver channel budget c).
+	Channels [][]int
+	// Seed drives the local channel labeling and the algorithms.
+	Seed uint64
+	// Tuning overrides constant multipliers; nil uses defaults.
+	Tuning *core.Tuning
+}
+
+// NewCustomScenario builds a scenario from explicit topology and
+// channel sets.
+func NewCustomScenario(cfg CustomConfig) (*Scenario, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("crn: need at least 2 nodes, got %d", cfg.N)
+	}
+	if len(cfg.Channels) != cfg.N {
+		return nil, fmt.Errorf("crn: %d channel sets for %d nodes", len(cfg.Channels), cfg.N)
+	}
+	g := graph.New(cfg.N)
+	for _, e := range cfg.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("crn: %w", err)
+		}
+	}
+	g.Finalize()
+	if !g.Connected() {
+		return nil, fmt.Errorf("crn: custom topology is not connected")
+	}
+	a, err := chanassign.FromSets(cfg.Universe, cfg.Channels, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	kMin, _ := a.OverlapRange(g)
+	if kMin < 1 {
+		return nil, fmt.Errorf("crn: some adjacent pair shares no channels")
+	}
+	return newScenario(g, a, cfg.Tuning)
+}
+
+func newScenario(g *graph.Graph, a *chanassign.Assignment, tuning *core.Tuning) (*Scenario, error) {
+	k, kmax := a.OverlapRange(g)
+	p := core.Params{N: g.N(), C: a.C, K: k, KMax: kmax, Delta: g.MaxDegree()}
+	if tuning != nil {
+		p.Tuning = *tuning
+	}
+	if err := p.Normalize(); err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	d := g.Diameter()
+	if d < 1 {
+		d = 1
+	}
+	return &Scenario{g: g, a: a, p: p, nw: &radio.Network{Graph: g, Assign: a}, d: d}, nil
+}
+
+func buildTopology(cfg ScenarioConfig, r *rng.Source) (*graph.Graph, error) {
+	switch cfg.Topology {
+	case GNP, "":
+		p := cfg.Density
+		if p == 0 {
+			p = 0.3
+		}
+		return graph.GNP(cfg.N, p, r)
+	case Star:
+		return graph.Star(cfg.N), nil
+	case Path:
+		return graph.Path(cfg.N), nil
+	case Grid:
+		rows := 1
+		for (rows+1)*(rows+1) <= cfg.N {
+			rows++
+		}
+		cols := (cfg.N + rows - 1) / rows
+		return graph.Grid(rows, cols)
+	case Chain:
+		const clusterSize = 4
+		clusters := cfg.N / clusterSize
+		if clusters < 1 {
+			clusters = 1
+		}
+		return graph.ClusterChain(clusters, clusterSize)
+	case Tree:
+		branching := cfg.C - 1
+		if branching < 1 {
+			branching = 1
+		}
+		// Smallest height whose complete tree reaches N nodes.
+		height, count, level := 0, 1, 1
+		for count < cfg.N && height < 20 {
+			level *= branching
+			count += level
+			height++
+		}
+		return graph.CompleteTree(branching, height)
+	case UnitDisk:
+		radius := cfg.Density
+		if radius == 0 {
+			radius = 0.35
+		}
+		return graph.UnitDisk(cfg.N, radius, r)
+	default:
+		return nil, fmt.Errorf("crn: unknown topology %q", cfg.Topology)
+	}
+}
+
+// N returns the number of nodes.
+func (s *Scenario) N() int { return s.g.N() }
+
+// C returns the per-node channel count.
+func (s *Scenario) C() int { return s.p.C }
+
+// K returns the realized minimum neighbor overlap.
+func (s *Scenario) K() int { return s.p.K }
+
+// KMax returns the realized maximum neighbor overlap.
+func (s *Scenario) KMax() int { return s.p.KMax }
+
+// Delta returns the maximum degree Δ.
+func (s *Scenario) Delta() int { return s.p.Delta }
+
+// Diameter returns the network diameter D.
+func (s *Scenario) Diameter() int { return s.d }
+
+// Edges returns the topology's edge list.
+func (s *Scenario) Edges() [][2]int {
+	out := make([][2]int, 0, s.g.M())
+	for _, e := range s.g.Edges() {
+		out = append(out, [2]int{int(e.U), int(e.V)})
+	}
+	return out
+}
+
+// SharedChannelCount returns how many channels nodes u and v share.
+func (s *Scenario) SharedChannelCount(u, v int) int { return s.a.SharedCount(u, v) }
+
+// String describes the scenario.
+func (s *Scenario) String() string {
+	return fmt.Sprintf("n=%d c=%d k=%d kmax=%d Δ=%d D=%d edges=%d",
+		s.N(), s.C(), s.K(), s.KMax(), s.Delta(), s.Diameter(), s.g.M())
+}
+
+// DiscoveryResult reports one neighbor-discovery run.
+type DiscoveryResult struct {
+	// Algorithm is the algorithm that ran.
+	Algorithm string `json:"algorithm"`
+	// ScheduleSlots is the protocol's fixed schedule length.
+	ScheduleSlots int64 `json:"scheduleSlots"`
+	// CompletedAtSlot is the slot by which every node knew all its
+	// neighbors, or -1 if the schedule ended first.
+	CompletedAtSlot int64 `json:"completedAtSlot"`
+	// PairsDiscovered counts directed (node, neighbor) discoveries.
+	PairsDiscovered int `json:"pairsDiscovered"`
+	// PairsTotal is the number of directed neighbor pairs.
+	PairsTotal int `json:"pairsTotal"`
+	// Neighbors[u] lists the identities node u discovered.
+	Neighbors [][]int `json:"neighbors"`
+}
+
+// AllDiscovered reports whether every node found every neighbor.
+func (r *DiscoveryResult) AllDiscovered() bool { return r.PairsDiscovered == r.PairsTotal }
+
+// Discover runs a neighbor-discovery algorithm on the scenario.
+func (s *Scenario) Discover(algo Algorithm, seed uint64) (*DiscoveryResult, error) {
+	mk := func(env core.Env) (core.Discoverer, error) {
+		switch algo {
+		case CSeek, "":
+			return core.NewCSeek(s.p, env)
+		case Naive:
+			return core.NewNaiveSeek(s.p, env)
+		case Uniform:
+			return core.NewUniformSeek(s.p, env)
+		default:
+			return nil, fmt.Errorf("crn: unknown algorithm %q", algo)
+		}
+	}
+	name := string(algo)
+	if name == "" {
+		name = string(CSeek)
+	}
+	return s.runDiscovery(name, mk, seed)
+}
+
+// DiscoverK runs CKSEEK: every node finds (at least) all neighbors
+// sharing at least khat channels with it. The result counts only those
+// "good" pairs.
+func (s *Scenario) DiscoverK(khat int, seed uint64) (*DiscoveryResult, error) {
+	if khat < s.p.K || khat > s.p.KMax {
+		return nil, fmt.Errorf("crn: k̂ must be in [k,kmax] = [%d,%d], got %d", s.p.K, s.p.KMax, khat)
+	}
+	deltaKhat := 0
+	for u := 0; u < s.g.N(); u++ {
+		good := 0
+		for _, v := range s.g.Neighbors(u) {
+			if s.a.SharedCount(u, int(v)) >= khat {
+				good++
+			}
+		}
+		if good > deltaKhat {
+			deltaKhat = good
+		}
+	}
+	mk := func(env core.Env) (core.Discoverer, error) {
+		return core.NewCKSeek(s.p, env, khat, deltaKhat)
+	}
+	res, err := s.runDiscovery("ckseek", mk, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Recount against the good-pair universe.
+	res.PairsTotal = 0
+	res.PairsDiscovered = 0
+	for u := 0; u < s.g.N(); u++ {
+		seen := make(map[int]bool, len(res.Neighbors[u]))
+		for _, v := range res.Neighbors[u] {
+			seen[v] = true
+		}
+		for _, v := range s.g.Neighbors(u) {
+			if s.a.SharedCount(u, int(v)) >= khat {
+				res.PairsTotal++
+				if seen[int(v)] {
+					res.PairsDiscovered++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func (s *Scenario) runDiscovery(name string, mk func(core.Env) (core.Discoverer, error), seed uint64) (*DiscoveryResult, error) {
+	n := s.g.N()
+	master := rng.New(seed)
+	ds := make([]core.Discoverer, n)
+	protos := make([]radio.Protocol, n)
+	for u := 0; u < n; u++ {
+		d, err := mk(core.Env{ID: radio.NodeID(u), C: s.p.C, Rand: master.Split(uint64(u))})
+		if err != nil {
+			return nil, err
+		}
+		ds[u] = d
+		protos[u] = d
+	}
+	e, err := radio.NewEngine(s.nw, protos)
+	if err != nil {
+		return nil, err
+	}
+	completedAt := int64(-1)
+	e.RunUntil(ds[0].TotalSlots()+1, func(slot int64) bool {
+		for u := 0; u < n; u++ {
+			if ds[u].DiscoveredCount() < s.g.Degree(u) {
+				return false
+			}
+		}
+		completedAt = slot
+		return true
+	})
+
+	res := &DiscoveryResult{
+		Algorithm:       name,
+		ScheduleSlots:   ds[0].TotalSlots(),
+		CompletedAtSlot: completedAt,
+		Neighbors:       make([][]int, n),
+	}
+	for u := 0; u < n; u++ {
+		res.PairsTotal += s.g.Degree(u)
+		found := make(map[radio.NodeID]bool)
+		for _, id := range ds[u].Discovered() {
+			found[id] = true
+			res.Neighbors[u] = append(res.Neighbors[u], int(id))
+		}
+		for _, v := range s.g.Neighbors(u) {
+			if found[radio.NodeID(v)] {
+				res.PairsDiscovered++
+			}
+		}
+	}
+	return res, nil
+}
+
+// BroadcastResult reports one CGCAST run.
+type BroadcastResult struct {
+	// TotalSlots is setup plus the full dissemination schedule.
+	TotalSlots int64 `json:"totalSlots"`
+	// SetupSlots covers discovery, channel fixing, coloring, announce.
+	SetupSlots int64 `json:"setupSlots"`
+	// DissemScheduleSlots is the dissemination stage's fixed length.
+	DissemScheduleSlots int64 `json:"dissemScheduleSlots"`
+	// AllInformedAtSlot is the dissemination slot after which every
+	// node held the message (-1 if some node finished uninformed).
+	AllInformedAtSlot int64 `json:"allInformedAtSlot"`
+	// AllInformed reports whether every node got the message.
+	AllInformed bool `json:"allInformed"`
+	// EdgesColored / EdgesDropped describe the realized edge coloring.
+	EdgesColored int `json:"edgesColored"`
+	EdgesDropped int `json:"edgesDropped"`
+	// ColoringValid reports properness of the realized coloring.
+	ColoringValid bool `json:"coloringValid"`
+}
+
+// BroadcastOption configures Broadcast.
+type BroadcastOption func(*broadcastOptions)
+
+type broadcastOptions struct {
+	mode core.BroadcastMode
+}
+
+// WithFullFidelity makes CGCAST simulate every CSEEK exchange in the
+// radio model instead of using the slot-equivalent oracle. Slower, but
+// end-to-end faithful; see DESIGN.md.
+func WithFullFidelity() BroadcastOption {
+	return func(o *broadcastOptions) { o.mode = core.ExchangeFull }
+}
+
+// Broadcast runs CGCAST from the given source node.
+func (s *Scenario) Broadcast(source int, message any, seed uint64, opts ...BroadcastOption) (*BroadcastResult, error) {
+	o := broadcastOptions{mode: core.ExchangeAbstract}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res, err := core.RunCGCast(s.nw, core.BroadcastConfig{
+		Params:  s.p,
+		D:       s.d,
+		Source:  radio.NodeID(source),
+		Message: message,
+		Mode:    o.mode,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	all := true
+	for _, inf := range res.Informed {
+		if !inf {
+			all = false
+			break
+		}
+	}
+	return &BroadcastResult{
+		TotalSlots:          res.TotalSlots,
+		SetupSlots:          res.SetupSlots,
+		DissemScheduleSlots: res.DissemScheduleSlots,
+		AllInformedAtSlot:   res.AllInformedAt,
+		AllInformed:         all,
+		EdgesColored:        res.EdgesColored,
+		EdgesDropped:        res.EdgesDropped,
+		ColoringValid:       res.ColoringValid,
+	}, nil
+}
+
+// BroadcastSession is CGCAST's reusable setup: after one round of
+// discovery, dedicated-channel fixing and edge coloring, any number of
+// messages can be disseminated from any source, each costing only the
+// O~(D·Δ) dissemination schedule. This is where CGCAST's one-time
+// setup amortizes against per-broadcast flooding.
+type BroadcastSession struct {
+	s       *Scenario
+	session *core.BroadcastSession
+}
+
+// NewBroadcastSession runs CGCAST's setup stages once and returns the
+// reusable session.
+func (s *Scenario) NewBroadcastSession(seed uint64, opts ...BroadcastOption) (*BroadcastSession, error) {
+	o := broadcastOptions{mode: core.ExchangeAbstract}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	session, err := core.PrepareCGCast(s.nw, core.SessionConfig{
+		Params: s.p,
+		Mode:   o.mode,
+		Seed:   seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BroadcastSession{s: s, session: session}, nil
+}
+
+// SetupSlots returns the one-time setup cost in slots.
+func (bs *BroadcastSession) SetupSlots() int64 { return bs.session.SetupSlots() }
+
+// EdgesColored returns the number of schedulable (colored) edges.
+func (bs *BroadcastSession) EdgesColored() int { return bs.session.EdgesColored() }
+
+// SessionBroadcastResult reports one dissemination over a session.
+type SessionBroadcastResult struct {
+	// ScheduleSlots is the fixed dissemination length.
+	ScheduleSlots int64 `json:"scheduleSlots"`
+	// AllInformedAtSlot is when the last node got the message, or -1.
+	AllInformedAtSlot int64 `json:"allInformedAtSlot"`
+	// AllInformed reports whether every node got the message.
+	AllInformed bool `json:"allInformed"`
+}
+
+// Broadcast disseminates one message from source over the prepared
+// schedule.
+func (bs *BroadcastSession) Broadcast(source int, message any, seed uint64) (*SessionBroadcastResult, error) {
+	return bs.disseminate(bs.s.d, source, message, seed)
+}
+
+// LocalBroadcast delivers a message from source to its immediate
+// neighbors only: a single phase of the dissemination schedule, the
+// local-broadcast primitive the global algorithm repeats D times.
+// In the result, AllInformed refers to the source's neighborhood;
+// AllInformedAtSlot stays -1 unless the single phase happened to reach
+// the whole network (it tracks the global predicate).
+func (bs *BroadcastSession) LocalBroadcast(source int, message any, seed uint64) (*SessionBroadcastResult, error) {
+	res, err := bs.session.Disseminate(1, radio.NodeID(source), message, seed)
+	if err != nil {
+		return nil, err
+	}
+	all := true
+	for _, v := range bs.s.g.Neighbors(source) {
+		if !res.Informed[v] {
+			all = false
+			break
+		}
+	}
+	return &SessionBroadcastResult{
+		ScheduleSlots:     res.ScheduleSlots,
+		AllInformedAtSlot: res.AllInformedAt,
+		AllInformed:       all,
+	}, nil
+}
+
+func (bs *BroadcastSession) disseminate(d, source int, message any, seed uint64) (*SessionBroadcastResult, error) {
+	res, err := bs.session.Disseminate(d, radio.NodeID(source), message, seed)
+	if err != nil {
+		return nil, err
+	}
+	all := true
+	for _, inf := range res.Informed {
+		if !inf {
+			all = false
+			break
+		}
+	}
+	return &SessionBroadcastResult{
+		ScheduleSlots:     res.ScheduleSlots,
+		AllInformedAtSlot: res.AllInformedAt,
+		AllInformed:       all,
+	}, nil
+}
+
+// FloodResult reports one flooding-baseline run.
+type FloodResult struct {
+	// AllInformedAtSlot is the slot after which every node held the
+	// message, or -1 if the budget ran out first.
+	AllInformedAtSlot int64 `json:"allInformedAtSlot"`
+	// AllInformed reports whether every node got the message.
+	AllInformed bool `json:"allInformed"`
+}
+
+// Flood runs the naive flooding broadcast baseline.
+func (s *Scenario) Flood(source int, message any, seed uint64) (*FloodResult, error) {
+	at, all, err := core.RunFlood(s.nw, s.p, s.d, radio.NodeID(source), message, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &FloodResult{AllInformedAtSlot: at, AllInformed: all}, nil
+}

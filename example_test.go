@@ -1,0 +1,97 @@
+package crn_test
+
+import (
+	"fmt"
+	"log"
+
+	"crn"
+)
+
+// ExampleNewScenario generates a deterministic scenario and prints its
+// derived model parameters.
+func ExampleNewScenario() {
+	scenario, err := crn.NewScenario(crn.ScenarioConfig{
+		Topology: crn.Path,
+		N:        6,
+		C:        4,
+		K:        2,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(scenario)
+	// Output: n=6 c=4 k=2 kmax=2 Δ=2 D=5 edges=5
+}
+
+// ExampleScenario_Discover runs CSEEK on a tiny path network; the
+// simulation is deterministic for a fixed seed.
+func ExampleScenario_Discover() {
+	scenario, err := crn.NewScenario(crn.ScenarioConfig{
+		Topology: crn.Path,
+		N:        4,
+		C:        3,
+		K:        2,
+		Seed:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := scenario.Discover(crn.CSeek, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all discovered: %v (%d/%d pairs)\n",
+		res.AllDiscovered(), res.PairsDiscovered, res.PairsTotal)
+	// Output: all discovered: true (6/6 pairs)
+}
+
+// ExampleScenario_NewBroadcastSession sets CGCAST up once and sends
+// two messages from different sources.
+func ExampleScenario_NewBroadcastSession() {
+	scenario, err := crn.NewScenario(crn.ScenarioConfig{
+		Topology: crn.Path,
+		N:        5,
+		C:        3,
+		K:        2,
+		Seed:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := scenario.NewBroadcastSession(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, source := range []int{0, 4} {
+		res, err := session.Broadcast(source, "ping", 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("from %d: all informed = %v\n", source, res.AllInformed)
+	}
+	// Output:
+	// from 0: all informed = true
+	// from 4: all informed = true
+}
+
+// ExampleNewCustomScenario wires an explicit topology with hand-picked
+// channel sets — the escape hatch for modeling real deployments.
+func ExampleNewCustomScenario() {
+	scenario, err := crn.NewCustomScenario(crn.CustomConfig{
+		N:        3,
+		Edges:    [][2]int{{0, 1}, {1, 2}},
+		Universe: 4,
+		Channels: [][]int{
+			{0, 1},
+			{0, 2},
+			{2, 3},
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k=%d kmax=%d\n", scenario.K(), scenario.KMax())
+	// Output: k=1 kmax=1
+}

@@ -1,0 +1,52 @@
+// Kfilter: CKSEEK as a "well-connected neighbor" filter (Theorem 6).
+//
+// In real deployments a node often only cares about neighbors it
+// shares many channels with — they offer more robust links. CKSEEK
+// finds all neighbors sharing at least k̂ channels on a schedule that
+// *shrinks* as k̂ grows, strictly faster than full CSEEK discovery.
+//
+//	go run ./examples/kfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crn"
+)
+
+func main() {
+	// Heterogeneous overlaps: some neighbor pairs share 2 channels,
+	// some share 6.
+	scenario, err := crn.NewScenario(crn.ScenarioConfig{
+		Topology: crn.GNP,
+		N:        16,
+		C:        10,
+		K:        2,
+		KMax:     6,
+		Seed:     17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scenario:", scenario)
+
+	// Full discovery first, for reference.
+	full, err := scenario.Discover(crn.CSeek, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CSEEK  (all neighbors):  schedule %8d slots, %3d/%3d pairs\n",
+		full.ScheduleSlots, full.PairsDiscovered, full.PairsTotal)
+
+	// Now filter: only neighbors sharing at least k̂ channels.
+	for _, khat := range []int{4, 6} {
+		res, err := scenario.DiscoverK(khat, 29)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("CKSEEK (k̂ = %d):          schedule %8d slots, %3d/%3d good pairs\n",
+			khat, res.ScheduleSlots, res.PairsDiscovered, res.PairsTotal)
+	}
+	fmt.Println("\nthe schedule column shrinks as k̂ grows — Theorem 6's promise")
+}

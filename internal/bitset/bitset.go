@@ -1,0 +1,239 @@
+// Package bitset provides dense bitsets sized at construction time.
+//
+// Bitsets represent channel sets and neighbor sets throughout the
+// simulator. The hot operations are membership tests and intersection
+// counts (computing how many channels two nodes share), so both are
+// implemented without allocation.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over the universe [0, Len()).
+// The zero value is unusable; construct with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// FromSlice returns a set over [0, n) containing every element of elems.
+// Elements outside [0, n) are ignored.
+func FromSlice(n int, elems []int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		if e >= 0 && e < n {
+			s.Add(e)
+		}
+	}
+	return s
+}
+
+// Len returns the size of the universe.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set. Out-of-range values are ignored.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set. Out-of-range values are ignored.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+// The sets may have different universe sizes; the intersection is over
+// the common prefix.
+func (s *Set) IntersectionCount(o *Set) int {
+	m := len(s.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	c := 0
+	for i := 0; i < m; i++ {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s and o share at least one element.
+func (s *Set) Intersects(o *Set) bool {
+	m := len(s.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Union replaces s with s ∪ o. Panics if universes differ.
+func (s *Set) Union(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect replaces s with s ∩ o. Panics if universes differ.
+func (s *Set) Intersect(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Difference replaces s with s \ o. Panics if universes differ.
+func (s *Set) Difference(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		words: make([]uint64, len(s.words)),
+		n:     s.n,
+	}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Equal reports whether s and o contain the same elements over the same
+// universe.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elems appends the elements of s to dst in increasing order and
+// returns the extended slice. Pass nil to allocate fresh.
+func (s *Set) Elems(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn for each element in increasing order. Iteration
+// stops early if fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// NthElem returns the n-th smallest element (0-indexed) and true, or
+// (0, false) if the set has fewer than n+1 elements.
+func (s *Set) NthElem(n int) (int, bool) {
+	if n < 0 {
+		return 0, false
+	}
+	for wi, w := range s.words {
+		c := bits.OnesCount64(w)
+		if n >= c {
+			n -= c
+			continue
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if n == 0 {
+				return wi*wordBits + b, true
+			}
+			n--
+			w &= w - 1
+		}
+	}
+	return 0, false
+}
+
+// String renders the set as "{a, b, c}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) mustMatch(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d != %d", s.n, o.n))
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"crn/internal/radio"
+)
+
+// Baseline neighbor-discovery strategies the paper compares against.
+//
+// NaiveSeek is the introduction's "simple and straightforward
+// strategy": hop among channels uniformly at random and broadcast or
+// listen with some probability, resolving contention with a fixed
+// worst-case back-off probability of 1/Δ. Without contention
+// estimation the safe choice is the worst case, which is what yields
+// the O~((c²/k)·Δ) bound quoted in Section 1.
+//
+// UniformSeek replaces the fixed probability with the same per-step
+// lg Δ back-off sweep CSEEK uses, but keeps listeners hopping
+// uniformly (no density sampling, no part one). This is the shape of
+// the Zeng et al. algorithm discussed in Section 2, with time
+// O~(c²/k + c·Δ/k): always at least as slow as CSEEK because c ≥ kmax.
+
+// Discoverer is the interface shared by all neighbor-discovery
+// protocols; harnesses use it to measure time-to-discovery uniformly.
+type Discoverer interface {
+	radio.Protocol
+	// Discovered returns the identities heard so far.
+	Discovered() []radio.NodeID
+	// DiscoveredCount returns the number of distinct identities heard.
+	DiscoveredCount() int
+	// TotalSlots returns the protocol's fixed schedule length.
+	TotalSlots() int64
+}
+
+var (
+	_ Discoverer = (*CSeek)(nil)
+	_ Discoverer = (*NaiveSeek)(nil)
+	_ Discoverer = (*UniformSeek)(nil)
+)
+
+// NaiveSeek is the single-slot-step baseline: every slot, hop to a
+// uniform channel; with probability 1/2 listen, otherwise broadcast
+// the node's identity with probability 1/Δ.
+type NaiveSeek struct {
+	env      Env
+	delta    int
+	slots    int64
+	maxSlots int64
+	observed map[radio.NodeID]int64 // id -> first-heard slot
+	listen   bool
+}
+
+// NewNaiveSeek returns the naive baseline with the schedule
+// Tuning.NaiveSlots·(c²/k)·Δ·lg n slots.
+func NewNaiveSeek(p Params, env Env) (*NaiveSeek, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	if env.C != p.C {
+		return nil, fmt.Errorf("core: env has %d channels, params say %d", env.C, p.C)
+	}
+	slots := int64(scaledSteps(p.Tuning.NaiveSlots, ceilDiv(p.C*p.C, p.K)*p.Delta, p.LgN()))
+	return &NaiveSeek{
+		env:      env,
+		delta:    p.Delta,
+		maxSlots: slots,
+		observed: make(map[radio.NodeID]int64),
+	}, nil
+}
+
+// Act implements radio.Protocol.
+func (s *NaiveSeek) Act(_ int64) radio.Action {
+	ch := s.env.Rand.Intn(s.env.C)
+	s.listen = s.env.Rand.Bool()
+	if s.listen {
+		return radio.Action{Kind: radio.Listen, Ch: ch}
+	}
+	if s.env.Rand.OneIn(s.delta) {
+		return radio.Action{Kind: radio.Broadcast, Ch: ch}
+	}
+	return radio.Action{Kind: radio.Idle, Ch: ch}
+}
+
+// Observe implements radio.Protocol.
+func (s *NaiveSeek) Observe(_ int64, msg *radio.Message) {
+	if s.listen && msg != nil {
+		if _, ok := s.observed[msg.From]; !ok {
+			s.observed[msg.From] = s.slots
+		}
+	}
+	s.slots++
+}
+
+// Done implements radio.Protocol.
+func (s *NaiveSeek) Done() bool { return s.slots >= s.maxSlots }
+
+// Discovered implements Discoverer.
+func (s *NaiveSeek) Discovered() []radio.NodeID { return keys(s.observed) }
+
+// DiscoveredCount implements Discoverer.
+func (s *NaiveSeek) DiscoveredCount() int { return len(s.observed) }
+
+// TotalSlots implements Discoverer.
+func (s *NaiveSeek) TotalSlots() int64 { return s.maxSlots }
+
+// UniformSeek is the back-off-sweep baseline without density sampling:
+// steps of lg Δ slots; every step each node flips a role coin and picks
+// a uniformly random channel; broadcasters run the 2^(i-1)/Δ back-off
+// sweep, listeners listen.
+type UniformSeek struct {
+	env       Env
+	slotsStep int
+	steps     int
+	step      int
+	stepSlot  int
+	slot      int64
+	listener  bool
+	ch        int
+	bcast     []bool
+	observed  map[radio.NodeID]int64
+}
+
+// NewUniformSeek returns the uniform-listen baseline with schedule
+// Tuning.P2Steps·((c²+c·Δ)/k)·lg n steps of lg Δ slots, matching the
+// O~(c²/k + c·Δ/k) bound of Zeng et al.
+func NewUniformSeek(p Params, env Env) (*UniformSeek, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	if env.C != p.C {
+		return nil, fmt.Errorf("core: env has %d channels, params say %d", env.C, p.C)
+	}
+	base := ceilDiv(p.C*p.C+p.C*p.Delta, p.K)
+	return &UniformSeek{
+		env:       env,
+		slotsStep: p.LgDelta(),
+		steps:     scaledSteps(p.Tuning.P2Steps, base, p.LgN()),
+		observed:  make(map[radio.NodeID]int64),
+	}, nil
+}
+
+// Act implements radio.Protocol.
+func (s *UniformSeek) Act(_ int64) radio.Action {
+	if s.stepSlot == 0 {
+		s.beginStep()
+	}
+	if s.listener {
+		return radio.Action{Kind: radio.Listen, Ch: s.ch}
+	}
+	if s.bcast[s.stepSlot] {
+		return radio.Action{Kind: radio.Broadcast, Ch: s.ch}
+	}
+	return radio.Action{Kind: radio.Idle, Ch: s.ch}
+}
+
+func (s *UniformSeek) beginStep() {
+	s.listener = s.env.Rand.Bool()
+	s.ch = s.env.Rand.Intn(s.env.C)
+	if s.listener {
+		return
+	}
+	if cap(s.bcast) < s.slotsStep {
+		s.bcast = make([]bool, s.slotsStep)
+	}
+	s.bcast = s.bcast[:s.slotsStep]
+	denom := int64(1) << uint(s.slotsStep)
+	for i := range s.bcast {
+		s.bcast[i] = s.env.Rand.Bernoulli(float64(int64(1)<<uint(i)) / float64(denom))
+	}
+}
+
+// Observe implements radio.Protocol.
+func (s *UniformSeek) Observe(_ int64, msg *radio.Message) {
+	if s.listener && msg != nil {
+		if _, ok := s.observed[msg.From]; !ok {
+			s.observed[msg.From] = s.slot
+		}
+	}
+	s.slot++
+	s.stepSlot++
+	if s.stepSlot == s.slotsStep {
+		s.stepSlot = 0
+		s.step++
+	}
+}
+
+// Done implements radio.Protocol.
+func (s *UniformSeek) Done() bool { return s.step >= s.steps }
+
+// Discovered implements Discoverer.
+func (s *UniformSeek) Discovered() []radio.NodeID { return keys(s.observed) }
+
+// DiscoveredCount implements Discoverer.
+func (s *UniformSeek) DiscoveredCount() int { return len(s.observed) }
+
+// TotalSlots implements Discoverer.
+func (s *UniformSeek) TotalSlots() int64 { return int64(s.steps) * int64(s.slotsStep) }
+
+func keys(m map[radio.NodeID]int64) []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,906 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crn/internal/coloring"
+	"crn/internal/graph"
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// CGCAST (Section 5) solves global broadcast in
+// O~((c²/k) + (kmax/k)·Δ + D·Δ) slots, w.h.p. The pipeline:
+//
+//  1. Run CSEEK so every node learns its neighbors, recording for every
+//     slot which channel the node was tuned to.
+//  2. Run CSEEK again, attaching to each frame the map of first-heard
+//     slots from stage 1. Each edge's endpoints then agree on a
+//     dedicated communication channel: the channel they used in slot
+//     min(t_uv, t_vu) of stage 1 — computable on both sides from local
+//     logs despite the absence of global channel labels (Section 5.2).
+//  3. Edge-color the network with 2Δ colors by running the Luby-style
+//     node coloring on the line graph. Each edge (u,v) is simulated by
+//     the endpoint with the smaller identifier; every coloring step
+//     exchanges proposals/decisions among virtual-node neighbors, which
+//     are at most two hops apart, via two CSEEK executions (the second
+//     relays what the first delivered).
+//  4. Run CSEEK once more so each simulator announces the final edge
+//     color to the other endpoint.
+//  5. Disseminate: D phases × 2Δ steps; step s is dedicated to color s.
+//     A node whose color-s edge exists goes to that edge's dedicated
+//     channel; if it knows the message it back-off-broadcasts for
+//     Θ(lg n) rounds of lg Δ slots, otherwise it listens. The message
+//     crosses at least one hop per phase, w.h.p. (Theorem 9).
+//
+// Stages 1–4 are pure message exchange. BroadcastConfig.Mode selects
+// their fidelity: ExchangeFull simulates every CSEEK slot in the radio
+// model; ExchangeAbstract delivers the same payloads to the same
+// recipients through an oracle while charging the identical slot
+// budget (see DESIGN.md, "Coloring exchange fidelity"). Stage 5 always
+// runs in the radio model.
+
+// BroadcastMode selects the exchange fidelity of CGCAST stages 1–4.
+type BroadcastMode int
+
+// Exchange fidelity modes.
+const (
+	// ExchangeFull runs every CSEEK exchange in the radio model.
+	ExchangeFull BroadcastMode = iota + 1
+	// ExchangeAbstract delivers exchange payloads through an oracle at
+	// the same slot cost; discovery metadata (neighbor sets, dedicated
+	// channels) is synthesized from ground truth.
+	ExchangeAbstract
+)
+
+// BroadcastConfig configures one CGCAST run.
+type BroadcastConfig struct {
+	// Params are the model parameters (normalized by RunCGCast).
+	Params Params
+	// D is the network diameter, which the paper assumes known for the
+	// dissemination schedule.
+	D int
+	// Source is the node holding the message.
+	Source radio.NodeID
+	// Message is the payload to disseminate.
+	Message any
+	// Mode selects exchange fidelity; zero value means ExchangeAbstract.
+	Mode BroadcastMode
+	// Seed drives all protocol randomness.
+	Seed uint64
+}
+
+// BroadcastResult reports the outcome and slot accounting of a run.
+type BroadcastResult struct {
+	// TotalSlots is the full charged cost: stages 1–4 plus the complete
+	// dissemination schedule.
+	TotalSlots int64
+	// SetupSlots is the cost of stages 1–4 (discovery, exchange,
+	// coloring, announce).
+	SetupSlots int64
+	// DissemScheduleSlots is the fixed length of stage 5.
+	DissemScheduleSlots int64
+	// AllInformedAt is the slot within stage 5 after which every node
+	// held the message, or -1 if some node finished uninformed.
+	AllInformedAt int64
+	// Informed[u] reports whether node u held the message at the end.
+	Informed []bool
+	// ColoringPhases is the number of coloring phases executed.
+	ColoringPhases int
+	// EdgesColored counts edges that obtained a color at both
+	// endpoints.
+	EdgesColored int
+	// EdgesDropped counts graph edges that failed discovery, exchange,
+	// or coloring and were left out of the dissemination schedule.
+	EdgesDropped int
+	// ColoringValid reports whether the realized edge coloring is
+	// proper on the colored subgraph.
+	ColoringValid bool
+}
+
+// edgeKey identifies an undirected edge by its endpoints, U < V.
+type edgeKey struct {
+	U, V radio.NodeID
+}
+
+func mkEdgeKey(a, b radio.NodeID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{U: a, V: b}
+}
+
+// other returns the endpoint of e that is not u.
+func (e edgeKey) other(u radio.NodeID) radio.NodeID {
+	if e.U == u {
+		return e.V
+	}
+	return e.U
+}
+
+// firstHeardPayload is the stage-2 frame body.
+type firstHeardPayload struct {
+	FirstHeard map[radio.NodeID]int64
+}
+
+// colorEntry carries one virtual node's proposal or decision.
+type colorEntry struct {
+	Edge  edgeKey
+	Color int
+}
+
+// colorBundle is one simulator's coloring-state snapshot for a step.
+type colorBundle struct {
+	From    radio.NodeID
+	Entries []colorEntry
+}
+
+// exchangePayload is the frame body of coloring exchange epochs: the
+// sender's own bundle plus any bundles it is relaying.
+type exchangePayload struct {
+	Bundles []colorBundle
+}
+
+// RunCGCast executes one CGCAST broadcast over the given network:
+// the full setup pipeline (stages 1–4) followed by one dissemination.
+// To amortize the setup over many broadcasts, use PrepareCGCast and
+// BroadcastSession.Disseminate instead.
+func RunCGCast(nw *radio.Network, cfg BroadcastConfig) (*BroadcastResult, error) {
+	session, err := PrepareCGCast(nw, SessionConfig{
+		Params: cfg.Params,
+		Mode:   cfg.Mode,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dres, err := session.Disseminate(cfg.D, cfg.Source, cfg.Message, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	res := &BroadcastResult{
+		SetupSlots:          session.SetupSlots(),
+		DissemScheduleSlots: dres.ScheduleSlots,
+		TotalSlots:          session.SetupSlots() + dres.ScheduleSlots,
+		AllInformedAt:       dres.AllInformedAt,
+		Informed:            dres.Informed,
+		ColoringPhases:      session.phases,
+	}
+	session.fillColoringStats(res)
+	return res, nil
+}
+
+// SessionConfig configures the reusable setup of CGCAST (stages 1–4).
+type SessionConfig struct {
+	// Params are the model parameters (normalized by PrepareCGCast).
+	Params Params
+	// Mode selects exchange fidelity; zero value means ExchangeAbstract.
+	Mode BroadcastMode
+	// Seed drives the setup randomness.
+	Seed uint64
+}
+
+// BroadcastSession is the product of CGCAST's setup: discovered
+// neighbors, per-edge dedicated channels, and a proper 2Δ edge
+// coloring. The session can disseminate any number of messages from
+// any sources, each costing only the O~(D·Δ) dissemination schedule —
+// this is where CGCAST's one-time setup amortizes.
+type BroadcastSession struct {
+	nw         *radio.Network
+	p          Params
+	mode       BroadcastMode
+	n          int
+	edges      []map[edgeKey]*edgeState
+	dropped    map[edgeKey]bool
+	setupSlots int64
+	phases     int
+}
+
+// PrepareCGCast runs CGCAST stages 1–4 (discovery, dedicated-channel
+// fixing, edge coloring, color announcement) and returns the reusable
+// session.
+func PrepareCGCast(nw *radio.Network, cfg SessionConfig) (*BroadcastSession, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Params
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	mode := cfg.Mode
+	if mode == 0 {
+		mode = ExchangeAbstract
+	}
+	d := &cgcastDriver{
+		nw:     nw,
+		p:      p,
+		mode:   mode,
+		master: rng.New(cfg.Seed),
+		n:      nw.Graph.N(),
+	}
+	return d.prepare()
+}
+
+// SetupSlots returns the slot cost of stages 1–4.
+func (s *BroadcastSession) SetupSlots() int64 { return s.setupSlots }
+
+// ColoringPhases returns the number of coloring phases executed.
+func (s *BroadcastSession) ColoringPhases() int { return s.phases }
+
+// EdgesColored returns the number of graph edges with a color at both
+// endpoints.
+func (s *BroadcastSession) EdgesColored() int {
+	colored := 0
+	for _, e := range s.nw.Graph.Edges() {
+		key := mkEdgeKey(radio.NodeID(e.U), radio.NodeID(e.V))
+		if st, ok := s.edges[e.U][key]; ok && st.color != coloring.NoColor {
+			colored++
+		}
+	}
+	return colored
+}
+
+// DissemResult reports one dissemination over a prepared session.
+type DissemResult struct {
+	// ScheduleSlots is the dissemination schedule length (D·2Δ·rounds·lgΔ).
+	ScheduleSlots int64
+	// AllInformedAt is the slot after which every node held the
+	// message, or -1.
+	AllInformedAt int64
+	// Informed[u] reports whether node u held the message at the end.
+	Informed []bool
+}
+
+type cgcastDriver struct {
+	nw     *radio.Network
+	p      Params
+	mode   BroadcastMode
+	master *rng.Source
+	n      int
+
+	// exchangeSlots is the canonical cost of one CSEEK execution,
+	// charged per exchange in both modes.
+	exchangeSlots int64
+
+	// Per-node edge state established after stages 1–2.
+	edges   []map[edgeKey]*edgeState // indexed by node
+	dropped map[edgeKey]bool
+
+	setupSlots int64
+	stage      int // monotone counter used for RNG stream separation
+}
+
+// edgeState is one endpoint's view of an incident edge.
+type edgeState struct {
+	// localCh is this endpoint's local label of the dedicated channel.
+	localCh int32
+	// color is the final edge color, or coloring.NoColor.
+	color int
+	// sim is the coloring state if this endpoint simulates the edge.
+	sim *coloring.NodeState
+}
+
+func (d *cgcastDriver) prepare() (*BroadcastSession, error) {
+	// Canonical exchange cost: one CSEEK execution length.
+	probe, err := NewCSeek(d.p, Env{ID: 0, C: d.p.C, Rand: rng.New(1)})
+	if err != nil {
+		return nil, err
+	}
+	d.exchangeSlots = probe.TotalSlots()
+
+	if err := d.establishEdges(); err != nil {
+		return nil, err
+	}
+	phases := scaledSteps(d.p.Tuning.ColoringPhases, 1, d.p.LgN())
+	if err := d.colorEdges(phases); err != nil {
+		return nil, err
+	}
+	if err := d.announceColors(); err != nil {
+		return nil, err
+	}
+	return &BroadcastSession{
+		nw:         d.nw,
+		p:          d.p,
+		mode:       d.mode,
+		n:          d.n,
+		edges:      d.edges,
+		dropped:    d.dropped,
+		setupSlots: d.setupSlots,
+		phases:     phases,
+	}, nil
+}
+
+// nodeRand returns a fresh deterministic stream for (stage, node).
+func (d *cgcastDriver) nodeRand(u int) *rng.Source {
+	return d.master.Split(uint64(d.stage)<<32 | uint64(u))
+}
+
+// nextStage advances the RNG stream domain separator.
+func (d *cgcastDriver) nextStage() { d.stage++ }
+
+// ----- Stages 1 & 2: discovery and dedicated-channel fixing -----
+
+func (d *cgcastDriver) establishEdges() error {
+	d.edges = make([]map[edgeKey]*edgeState, d.n)
+	for u := range d.edges {
+		d.edges[u] = make(map[edgeKey]*edgeState)
+	}
+	d.dropped = make(map[edgeKey]bool)
+
+	if d.mode == ExchangeAbstract {
+		// Oracle: adjacency from ground truth; the dedicated channel is
+		// the lowest-numbered shared global channel. Charge two CSEEK
+		// executions (stages 1 and 2).
+		for _, e := range d.nw.Graph.Edges() {
+			u, v := int(e.U), int(e.V)
+			shared := d.nw.Assign.SharedChannels(u, v)
+			if len(shared) == 0 {
+				d.dropped[mkEdgeKey(radio.NodeID(e.U), radio.NodeID(e.V))] = true
+				continue
+			}
+			g := shared[0]
+			key := mkEdgeKey(radio.NodeID(e.U), radio.NodeID(e.V))
+			d.edges[u][key] = &edgeState{localCh: d.nw.Assign.Local(u, g), color: coloring.NoColor}
+			d.edges[v][key] = &edgeState{localCh: d.nw.Assign.Local(v, g), color: coloring.NoColor}
+		}
+		d.setupSlots += 2 * d.exchangeSlots
+		d.nextStage()
+		d.nextStage()
+		return nil
+	}
+
+	// Full mode, stage 1: CSEEK with channel logging.
+	stage1 := make([]*CSeek, d.n)
+	protos := make([]radio.Protocol, d.n)
+	for u := 0; u < d.n; u++ {
+		s, err := NewCSeek(d.p, Env{ID: radio.NodeID(u), C: d.p.C, Rand: d.nodeRand(u)})
+		if err != nil {
+			return err
+		}
+		s.RecordChannels()
+		stage1[u] = s
+		protos[u] = s
+	}
+	if err := d.runEngine(protos); err != nil {
+		return err
+	}
+	d.nextStage()
+
+	// Stage 2: CSEEK carrying the first-heard maps.
+	stage2 := make([]*CSeek, d.n)
+	for u := 0; u < d.n; u++ {
+		s, err := NewCSeek(d.p, Env{ID: radio.NodeID(u), C: d.p.C, Rand: d.nodeRand(u)})
+		if err != nil {
+			return err
+		}
+		fh := make(map[radio.NodeID]int64, stage1[u].DiscoveredCount())
+		for _, v := range stage1[u].Discovered() {
+			fh[v] = stage1[u].Observation(v).Slot
+		}
+		s.SetPayload(firstHeardPayload{FirstHeard: fh})
+		stage2[u] = s
+		protos[u] = s
+	}
+	if err := d.runEngine(protos); err != nil {
+		return err
+	}
+	d.nextStage()
+
+	// Fix dedicated channels: u establishes (u,v) iff it heard v in
+	// stage 1 and received v's first-heard map naming u in stage 2.
+	for u := 0; u < d.n; u++ {
+		uid := radio.NodeID(u)
+		for _, v := range stage1[u].Discovered() {
+			tUV := stage1[u].Observation(v).Slot
+			obs2 := stage2[u].Observation(v)
+			if obs2 == nil {
+				continue
+			}
+			fh, ok := obs2.Payload.(firstHeardPayload)
+			if !ok {
+				continue
+			}
+			tVU, ok := fh.FirstHeard[uid]
+			if !ok {
+				continue
+			}
+			tMin := tUV
+			if tVU < tMin {
+				tMin = tVU
+			}
+			ch, ok := stage1[u].ChannelAt(tMin)
+			if !ok {
+				continue
+			}
+			d.edges[u][mkEdgeKey(uid, v)] = &edgeState{localCh: ch, color: coloring.NoColor}
+		}
+	}
+
+	// Account edges established on one side only (or neither).
+	for _, e := range d.nw.Graph.Edges() {
+		key := mkEdgeKey(radio.NodeID(e.U), radio.NodeID(e.V))
+		_, atU := d.edges[e.U][key]
+		_, atV := d.edges[e.V][key]
+		if !atU || !atV {
+			d.dropped[key] = true
+			delete(d.edges[e.U], key)
+			delete(d.edges[e.V], key)
+		}
+	}
+	return nil
+}
+
+// ----- Stage 3: line-graph coloring over exchange epochs -----
+
+func (d *cgcastDriver) colorEdges(phases int) error {
+	// Simulators: the smaller endpoint owns the virtual node.
+	for u := 0; u < d.n; u++ {
+		for key, st := range d.edges[u] {
+			if key.U == radio.NodeID(u) {
+				st.sim = coloring.NewNodeState(2 * d.p.Delta)
+			}
+		}
+	}
+
+	for phase := 0; phase < phases; phase++ {
+		// Step one: propose and exchange proposals two hops out.
+		proposals := make([]map[edgeKey]int, d.n)
+		for u := 0; u < d.n; u++ {
+			r := d.nodeRand(u)
+			proposals[u] = make(map[edgeKey]int)
+			for key, st := range d.edges[u] {
+				if st.sim != nil && st.sim.Active() {
+					if p := st.sim.Propose(r); p != coloring.NoColor {
+						proposals[u][key] = p
+					}
+				}
+			}
+		}
+		d.nextStage()
+		views, err := d.exchangeTwoHop(d.bundles(proposals))
+		if err != nil {
+			return err
+		}
+		// Resolve conflicts against every adjacent proposal seen.
+		decisions := make([]map[edgeKey]int, d.n)
+		for u := 0; u < d.n; u++ {
+			decisions[u] = make(map[edgeKey]int)
+			for key, st := range d.edges[u] {
+				if st.sim == nil || !st.sim.Active() {
+					continue
+				}
+				if _, proposed := proposals[u][key]; !proposed {
+					st.sim.ResolveConflicts(nil)
+					continue
+				}
+				conflicts := adjacentColors(key, views[u], proposals[u])
+				if st.sim.ResolveConflicts(conflicts) {
+					st.color = st.sim.Color()
+					decisions[u][key] = st.color
+				}
+			}
+		}
+		// Step two: exchange decisions, strike colors from plates.
+		views, err = d.exchangeTwoHop(d.bundles(decisions))
+		if err != nil {
+			return err
+		}
+		for u := 0; u < d.n; u++ {
+			for key, st := range d.edges[u] {
+				if st.sim == nil || !st.sim.Active() {
+					continue
+				}
+				st.sim.ObserveDecisions(adjacentColors(key, views[u], decisions[u]))
+			}
+		}
+	}
+	return nil
+}
+
+// bundles converts per-node entry maps into per-node colorBundles.
+func (d *cgcastDriver) bundles(entries []map[edgeKey]int) []colorBundle {
+	out := make([]colorBundle, d.n)
+	for u := 0; u < d.n; u++ {
+		b := colorBundle{From: radio.NodeID(u)}
+		keys := make([]edgeKey, 0, len(entries[u]))
+		for key := range entries[u] {
+			keys = append(keys, key)
+		}
+		// Deterministic ordering keeps runs reproducible.
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].U != keys[j].U {
+				return keys[i].U < keys[j].U
+			}
+			return keys[i].V < keys[j].V
+		})
+		for _, key := range keys {
+			b.Entries = append(b.Entries, colorEntry{Edge: key, Color: entries[u][key]})
+		}
+		out[u] = b
+	}
+	return out
+}
+
+// adjacentColors collects colors attached to edges adjacent to key
+// (sharing an endpoint), from both the node's own entries and every
+// bundle it received.
+func adjacentColors(key edgeKey, received map[radio.NodeID]colorBundle, own map[edgeKey]int) []int {
+	var out []int
+	adjacent := func(e edgeKey) bool {
+		if e == key {
+			return false
+		}
+		return e.U == key.U || e.U == key.V || e.V == key.U || e.V == key.V
+	}
+	for e, c := range own {
+		if adjacent(e) {
+			out = append(out, c)
+		}
+	}
+	for _, b := range received {
+		for _, entry := range b.Entries {
+			if adjacent(entry.Edge) {
+				out = append(out, entry.Color)
+			}
+		}
+	}
+	return out
+}
+
+// exchangeTwoHop delivers every node's bundle to all nodes within two
+// hops, via two one-hop exchanges (the second relays the first), and
+// returns each node's merged view. Cost: two CSEEK executions.
+func (d *cgcastDriver) exchangeTwoHop(own []colorBundle) ([]map[radio.NodeID]colorBundle, error) {
+	payloadsA := make([]any, d.n)
+	for u := 0; u < d.n; u++ {
+		payloadsA[u] = exchangePayload{Bundles: []colorBundle{own[u]}}
+	}
+	recvA, err := d.exchange(payloadsA)
+	if err != nil {
+		return nil, err
+	}
+	payloadsB := make([]any, d.n)
+	for u := 0; u < d.n; u++ {
+		relay := exchangePayload{Bundles: []colorBundle{own[u]}}
+		for _, data := range recvA[u] {
+			if ep, ok := data.(exchangePayload); ok {
+				relay.Bundles = append(relay.Bundles, ep.Bundles...)
+			}
+		}
+		payloadsB[u] = relay
+	}
+	recvB, err := d.exchange(payloadsB)
+	if err != nil {
+		return nil, err
+	}
+
+	views := make([]map[radio.NodeID]colorBundle, d.n)
+	for u := 0; u < d.n; u++ {
+		view := make(map[radio.NodeID]colorBundle)
+		for _, recv := range []map[radio.NodeID]any{recvA[u], recvB[u]} {
+			for _, data := range recv {
+				ep, ok := data.(exchangePayload)
+				if !ok {
+					continue
+				}
+				for _, b := range ep.Bundles {
+					if b.From != radio.NodeID(u) {
+						view[b.From] = b
+					}
+				}
+			}
+		}
+		views[u] = view
+	}
+	return views, nil
+}
+
+// exchange performs one one-hop all-pairs exchange: every node's
+// payload reaches every neighbor. In full mode this is a CSEEK
+// execution; in abstract mode an oracle at identical slot cost.
+func (d *cgcastDriver) exchange(payloads []any) ([]map[radio.NodeID]any, error) {
+	defer d.nextStage()
+	if d.mode == ExchangeAbstract {
+		out := make([]map[radio.NodeID]any, d.n)
+		for u := 0; u < d.n; u++ {
+			out[u] = make(map[radio.NodeID]any)
+		}
+		for _, e := range d.nw.Graph.Edges() {
+			out[e.U][radio.NodeID(e.V)] = payloads[e.V]
+			out[e.V][radio.NodeID(e.U)] = payloads[e.U]
+		}
+		d.setupSlots += d.exchangeSlots
+		return out, nil
+	}
+
+	seeks := make([]*CSeek, d.n)
+	protos := make([]radio.Protocol, d.n)
+	for u := 0; u < d.n; u++ {
+		s, err := NewCSeek(d.p, Env{ID: radio.NodeID(u), C: d.p.C, Rand: d.nodeRand(u)})
+		if err != nil {
+			return nil, err
+		}
+		s.SetPayload(payloads[u])
+		seeks[u] = s
+		protos[u] = s
+	}
+	if err := d.runEngine(protos); err != nil {
+		return nil, err
+	}
+	out := make([]map[radio.NodeID]any, d.n)
+	for u := 0; u < d.n; u++ {
+		out[u] = make(map[radio.NodeID]any)
+		for _, v := range seeks[u].Discovered() {
+			out[u][v] = seeks[u].Observation(v).Payload
+		}
+	}
+	return out, nil
+}
+
+// runEngine executes one full-schedule protocol set and charges its
+// slots to setup.
+func (d *cgcastDriver) runEngine(protos []radio.Protocol) error {
+	e, err := radio.NewEngine(d.nw, protos)
+	if err != nil {
+		return err
+	}
+	st := e.Run(d.exchangeSlots + 1)
+	if !st.Completed {
+		return fmt.Errorf("core: exchange stage did not complete in %d slots", d.exchangeSlots)
+	}
+	d.setupSlots += d.exchangeSlots
+	return nil
+}
+
+// ----- Stage 4: color announcement -----
+
+func (d *cgcastDriver) announceColors() error {
+	announcements := make([]map[edgeKey]int, d.n)
+	for u := 0; u < d.n; u++ {
+		announcements[u] = make(map[edgeKey]int)
+		for key, st := range d.edges[u] {
+			if st.sim != nil && st.sim.Color() != coloring.NoColor {
+				announcements[u][key] = st.sim.Color()
+			}
+		}
+	}
+	d.nextStage()
+	recv, err := d.exchange(anySlice(d.bundles(announcements)))
+	if err != nil {
+		return err
+	}
+	for u := 0; u < d.n; u++ {
+		uid := radio.NodeID(u)
+		for key, st := range d.edges[u] {
+			if st.sim != nil {
+				st.color = st.sim.Color()
+				continue
+			}
+			// Non-simulator endpoint: look for the announcement from the
+			// simulator (the other endpoint).
+			simID := key.other(uid)
+			data, ok := recv[u][simID]
+			if !ok {
+				continue
+			}
+			ep, ok := data.(exchangePayload)
+			if !ok {
+				continue
+			}
+			for _, b := range ep.Bundles {
+				if b.From != simID {
+					continue
+				}
+				for _, entry := range b.Entries {
+					if entry.Edge == key {
+						st.color = entry.Color
+					}
+				}
+			}
+		}
+	}
+	// Drop edges that remain uncolored at either endpoint.
+	for _, e := range d.nw.Graph.Edges() {
+		key := mkEdgeKey(radio.NodeID(e.U), radio.NodeID(e.V))
+		stU, okU := d.edges[e.U][key]
+		stV, okV := d.edges[e.V][key]
+		if !okU || !okV {
+			continue // already dropped
+		}
+		if stU.color == coloring.NoColor || stV.color == coloring.NoColor {
+			d.dropped[key] = true
+			delete(d.edges[e.U], key)
+			delete(d.edges[e.V], key)
+		}
+	}
+	return nil
+}
+
+func anySlice(bundles []colorBundle) []any {
+	out := make([]any, len(bundles))
+	for i, b := range bundles {
+		out[i] = exchangePayload{Bundles: []colorBundle{b}}
+	}
+	return out
+}
+
+// ----- Stage 5: dissemination -----
+
+// Disseminate runs one message dissemination over the prepared
+// session: D phases of 2Δ color-steps, each step Θ(lg n) back-off
+// rounds of lg Δ slots on the edge's dedicated channel.
+func (s *BroadcastSession) Disseminate(dD int, source radio.NodeID, msg any, seed uint64) (*DissemResult, error) {
+	if dD < 1 {
+		return nil, fmt.Errorf("core: D must be >= 1, got %d", dD)
+	}
+	if int(source) < 0 || int(source) >= s.n {
+		return nil, fmt.Errorf("core: source %d out of range", source)
+	}
+	numColors := 2 * s.p.Delta
+	rounds := scaledSteps(s.p.Tuning.DissemRounds, 1, s.p.LgN())
+	protos := make([]radio.Protocol, s.n)
+	dps := make([]*dissemProto, s.n)
+	master := rng.New(seed)
+	for u := 0; u < s.n; u++ {
+		schedule := make([]int32, numColors)
+		for i := range schedule {
+			schedule[i] = -1
+		}
+		for _, st := range s.edges[u] {
+			if st.color >= 0 && st.color < numColors {
+				schedule[st.color] = st.localCh
+			}
+		}
+		dp := &dissemProto{
+			env:      Env{ID: radio.NodeID(u), C: s.p.C, Rand: master.Split(uint64(u))},
+			schedule: schedule,
+			phases:   dD,
+			rounds:   rounds,
+			lgDelta:  s.p.LgDelta(),
+			delta:    s.p.Delta,
+			informed: radio.NodeID(u) == source,
+			msg:      msg,
+		}
+		dps[u] = dp
+		protos[u] = dp
+	}
+	e, err := radio.NewEngine(s.nw, protos)
+	if err != nil {
+		return nil, err
+	}
+	scheduleSlots := dps[0].totalSlots()
+
+	allInformedAt := int64(-1)
+	st := e.RunUntil(scheduleSlots+1, func(slot int64) bool {
+		if allInformedAt >= 0 {
+			return false // keep running the schedule to full length
+		}
+		for _, dp := range dps {
+			if !dp.informed {
+				return false
+			}
+		}
+		allInformedAt = slot
+		return false
+	})
+	if !st.Completed {
+		return nil, fmt.Errorf("core: dissemination did not complete in %d slots", scheduleSlots)
+	}
+
+	res := &DissemResult{
+		ScheduleSlots: scheduleSlots,
+		AllInformedAt: allInformedAt,
+		Informed:      make([]bool, s.n),
+	}
+	for u, dp := range dps {
+		res.Informed[u] = dp.informed
+	}
+	return res, nil
+}
+
+func (s *BroadcastSession) fillColoringStats(res *BroadcastResult) {
+	colored := make(map[graph.Edge]int)
+	for _, e := range s.nw.Graph.Edges() {
+		key := mkEdgeKey(radio.NodeID(e.U), radio.NodeID(e.V))
+		stU, okU := s.edges[e.U][key]
+		if okU && stU.color != coloring.NoColor {
+			colored[e] = stU.color
+		}
+	}
+	res.EdgesColored = len(colored)
+	res.EdgesDropped = s.nw.Graph.M() - len(colored)
+	res.ColoringValid = validPartialEdgeColoring(s.nw.Graph, colored)
+}
+
+// validPartialEdgeColoring checks properness on the colored subgraph.
+func validPartialEdgeColoring(g *graph.Graph, colors map[graph.Edge]int) bool {
+	type slot struct {
+		node  int32
+		color int
+	}
+	seen := make(map[slot]bool)
+	for e, c := range colors {
+		for _, end := range [2]int32{e.U, e.V} {
+			key := slot{node: end, color: c}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+	}
+	return true
+}
+
+// dissemProto is the stage-5 per-node protocol: D phases × 2Δ steps ×
+// rounds × lgΔ slots, with step s dedicated to edge color s.
+type dissemProto struct {
+	env      Env
+	schedule []int32 // color -> local dedicated channel, -1 if none
+	phases   int
+	rounds   int
+	lgDelta  int
+	delta    int
+	informed bool
+	msg      any
+
+	slot        int64
+	informedAt  int64
+	wasInformed bool // informed state latched at the start of each step
+}
+
+var _ radio.Protocol = (*dissemProto)(nil)
+
+// dissemMessage is the stage-5 frame body.
+type dissemMessage struct {
+	Body any
+}
+
+func (dp *dissemProto) slotsPerStep() int64 { return int64(dp.rounds) * int64(dp.lgDelta) }
+
+func (dp *dissemProto) totalSlots() int64 {
+	return int64(dp.phases) * int64(len(dp.schedule)) * dp.slotsPerStep()
+}
+
+// Act implements radio.Protocol.
+func (dp *dissemProto) Act(_ int64) radio.Action {
+	perStep := dp.slotsPerStep()
+	step := int(dp.slot / perStep % int64(len(dp.schedule)))
+	slotInStep := dp.slot % perStep
+	if slotInStep == 0 {
+		// Latch the informed state: a node that learns the message
+		// mid-step starts forwarding at the next step, keeping the
+		// per-step roles fixed as in the paper's analysis.
+		dp.wasInformed = dp.informed
+	}
+	ch := dp.schedule[step]
+	if ch < 0 {
+		return radio.Action{Kind: radio.Idle}
+	}
+	if !dp.wasInformed {
+		return radio.Action{Kind: radio.Listen, Ch: int(ch)}
+	}
+	// Back-off broadcast: slot i of the round broadcasts with
+	// probability 2^i/2^lgΔ, sweeping contention levels.
+	i := int(slotInStep % int64(dp.lgDelta))
+	prob := float64(int64(1)<<uint(i)) / float64(int64(1)<<uint(dp.lgDelta))
+	if dp.env.Rand.Bernoulli(prob) {
+		return radio.Action{Kind: radio.Broadcast, Ch: int(ch), Data: dissemMessage{Body: dp.msg}}
+	}
+	return radio.Action{Kind: radio.Idle, Ch: int(ch)}
+}
+
+// Observe implements radio.Protocol.
+func (dp *dissemProto) Observe(_ int64, msg *radio.Message) {
+	if msg != nil && !dp.informed {
+		if dm, ok := msg.Data.(dissemMessage); ok {
+			dp.informed = true
+			dp.informedAt = dp.slot
+			dp.msg = dm.Body
+		}
+	}
+	dp.slot++
+}
+
+// Done implements radio.Protocol.
+func (dp *dissemProto) Done() bool { return dp.slot >= dp.totalSlots() }

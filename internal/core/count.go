@@ -1,0 +1,195 @@
+package core
+
+import "crn/internal/radio"
+
+// COUNT (Section 4.1, Appendix A): one listener and an unknown number
+// m ≤ Δ of broadcasters share a channel; the listener wants an estimate
+// of m within a constant factor.
+//
+// The procedure runs lg Δ rounds of Θ(lg n) slots. In round i the
+// shared estimate is 2^(i-1); each broadcaster broadcasts its identity
+// in each slot independently with probability 1/2^(i-1), and the
+// listener counts the slots in which it hears a message. The listener
+// adopts 2^(i+1) as its count in the first round whose heard fraction
+// exceeds the trigger threshold; if no round triggers, the count falls
+// back to the number of distinct identities heard — which happens
+// exactly when there are so few broadcasters that contention was never
+// significant.
+//
+// Lemma 1: the estimate lands in [m, 4m] w.h.p.
+
+// countSchedule fixes the COUNT slot layout derived from Params.
+type countSchedule struct {
+	rounds        int
+	slotsPerRound int
+	threshold     float64
+}
+
+func (p Params) countSchedule() countSchedule {
+	slots := int(p.Tuning.CountSlotsPerRound * float64(p.LgN()))
+	if slots < p.Tuning.CountMinRoundSlots {
+		slots = p.Tuning.CountMinRoundSlots
+	}
+	return countSchedule{
+		// Estimates go 1, 2, 4, … and must reach Δ: lgΔ+1 rounds.
+		rounds:        p.LgDelta() + 1,
+		slotsPerRound: slots,
+		threshold:     p.Tuning.CountThreshold,
+	}
+}
+
+// TotalSlots returns the length of one COUNT execution.
+func (s countSchedule) TotalSlots() int { return s.rounds * s.slotsPerRound }
+
+// round returns the round index (0-based) of a slot within COUNT.
+func (s countSchedule) round(slot int) int { return slot / s.slotsPerRound }
+
+// broadcastProb returns the per-slot broadcast probability in round r:
+// 1/2^r (round 0 has estimate 1, probability 1).
+func (s countSchedule) broadcastProb(r int) float64 {
+	return 1 / float64(int64(1)<<uint(r))
+}
+
+// countListener accumulates the listener side of one COUNT execution.
+// It is embedded in CSEEK part-one steps and in the standalone
+// CountListen protocol.
+type countListener struct {
+	sched     countSchedule
+	heardIn   int  // messages heard in the current round
+	triggered bool // an estimate has been adopted
+	estimate  int64
+	distinct  map[radio.NodeID]struct{}
+}
+
+func newCountListener(sched countSchedule) countListener {
+	return countListener{
+		sched:    sched,
+		distinct: make(map[radio.NodeID]struct{}, 4),
+	}
+}
+
+// reset prepares the listener for a fresh COUNT execution, reusing the
+// allocation.
+func (l *countListener) reset() {
+	l.heardIn = 0
+	l.triggered = false
+	l.estimate = 0
+	clear(l.distinct)
+}
+
+// observe processes the outcome of one slot (msg nil on silence or
+// collision). slot is the slot offset within this COUNT execution.
+func (l *countListener) observe(slot int, msg *radio.Message) {
+	if msg != nil {
+		l.heardIn++
+		l.distinct[msg.From] = struct{}{}
+	}
+	if (slot+1)%l.sched.slotsPerRound != 0 {
+		return
+	}
+	// Round boundary: apply the trigger rule.
+	r := l.sched.round(slot)
+	if !l.triggered {
+		frac := float64(l.heardIn) / float64(l.sched.slotsPerRound)
+		if frac > l.sched.threshold {
+			l.triggered = true
+			// Estimate 2^(i+1) with i the 1-based round index r+1.
+			l.estimate = int64(1) << uint(r+2)
+		}
+	}
+	l.heardIn = 0
+}
+
+// count returns the adopted estimate (see the package comment on the
+// no-trigger fallback).
+func (l *countListener) count() int64 {
+	if l.triggered {
+		return l.estimate
+	}
+	return int64(len(l.distinct))
+}
+
+// CountListen is the standalone listener protocol for COUNT on a fixed
+// local channel, used by the Lemma 1 experiment and by tests.
+type CountListen struct {
+	sched countSchedule
+	ch    int
+	slot  int
+	l     countListener
+}
+
+var _ radio.Protocol = (*CountListen)(nil)
+
+// NewCountListen returns a listener running one COUNT execution on
+// local channel ch.
+func NewCountListen(p Params, ch int) (*CountListen, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	sched := p.countSchedule()
+	return &CountListen{
+		sched: sched,
+		ch:    ch,
+		l:     newCountListener(sched),
+	}, nil
+}
+
+// Act implements radio.Protocol.
+func (c *CountListen) Act(_ int64) radio.Action {
+	return radio.Action{Kind: radio.Listen, Ch: c.ch}
+}
+
+// Observe implements radio.Protocol.
+func (c *CountListen) Observe(_ int64, msg *radio.Message) {
+	c.l.observe(c.slot, msg)
+	c.slot++
+}
+
+// Done implements radio.Protocol.
+func (c *CountListen) Done() bool { return c.slot >= c.sched.TotalSlots() }
+
+// Count returns the estimate; meaningful once Done.
+func (c *CountListen) Count() int64 { return c.l.count() }
+
+// Heard returns the identities of all broadcasters heard at least once.
+func (c *CountListen) Heard() []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(c.l.distinct))
+	for id := range c.l.distinct {
+		out = append(out, id)
+	}
+	return out
+}
+
+// CountBroadcast is the standalone broadcaster protocol for COUNT.
+type CountBroadcast struct {
+	sched countSchedule
+	env   Env
+	ch    int
+	slot  int
+}
+
+var _ radio.Protocol = (*CountBroadcast)(nil)
+
+// NewCountBroadcast returns a broadcaster participating in one COUNT
+// execution on local channel ch.
+func NewCountBroadcast(p Params, env Env, ch int) (*CountBroadcast, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	return &CountBroadcast{sched: p.countSchedule(), env: env, ch: ch}, nil
+}
+
+// Act implements radio.Protocol.
+func (c *CountBroadcast) Act(_ int64) radio.Action {
+	r := c.sched.round(c.slot)
+	if c.env.Rand.Bernoulli(c.sched.broadcastProb(r)) {
+		return radio.Action{Kind: radio.Broadcast, Ch: c.ch}
+	}
+	return radio.Action{Kind: radio.Idle}
+}
+
+// Observe implements radio.Protocol.
+func (c *CountBroadcast) Observe(_ int64, _ *radio.Message) { c.slot++ }
+
+// Done implements radio.Protocol.
+func (c *CountBroadcast) Done() bool { return c.slot >= c.sched.TotalSlots() }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// Flood is the naive global-broadcast baseline from the introduction:
+// nodes hop among channels uniformly at random; informed nodes
+// broadcast the message (with a back-off coin to soften collisions),
+// uninformed nodes listen. Expected time O~((c²/k)·D·…) — every hop
+// costs a fresh Θ~(c²/k) rendezvous, with no schedule reuse.
+type Flood struct {
+	env      Env
+	delta    int
+	informed bool
+	msg      any
+
+	slot       int64
+	maxSlots   int64
+	informedAt int64
+	listening  bool
+}
+
+var _ radio.Protocol = (*Flood)(nil)
+
+// NewFlood returns a flooding node. The schedule budget is
+// Tuning.NaiveSlots·(c²/k)·D·lg n slots; harnesses typically stop the
+// run early once every node is informed.
+func NewFlood(p Params, env Env, d int, informed bool, msg any) (*Flood, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	if env.C != p.C {
+		return nil, fmt.Errorf("core: env has %d channels, params say %d", env.C, p.C)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("core: D must be >= 1, got %d", d)
+	}
+	return &Flood{
+		env:        env,
+		delta:      p.Delta,
+		informed:   informed,
+		msg:        msg,
+		maxSlots:   int64(scaledSteps(p.Tuning.NaiveSlots, ceilDiv(p.C*p.C, p.K)*d, p.LgN())),
+		informedAt: -1,
+	}, nil
+}
+
+// Act implements radio.Protocol.
+func (f *Flood) Act(_ int64) radio.Action {
+	ch := f.env.Rand.Intn(f.env.C)
+	if !f.informed {
+		f.listening = true
+		return radio.Action{Kind: radio.Listen, Ch: ch}
+	}
+	f.listening = false
+	// Informed nodes broadcast with probability 1/2: the paper's naive
+	// strategy has no contention estimate to do better with.
+	if f.env.Rand.Bool() {
+		return radio.Action{Kind: radio.Broadcast, Ch: ch, Data: dissemMessage{Body: f.msg}}
+	}
+	return radio.Action{Kind: radio.Idle, Ch: ch}
+}
+
+// Observe implements radio.Protocol.
+func (f *Flood) Observe(_ int64, msg *radio.Message) {
+	if f.listening && msg != nil && !f.informed {
+		if dm, ok := msg.Data.(dissemMessage); ok {
+			f.informed = true
+			f.informedAt = f.slot
+			f.msg = dm.Body
+		}
+	}
+	f.slot++
+}
+
+// Done implements radio.Protocol.
+func (f *Flood) Done() bool { return f.slot >= f.maxSlots }
+
+// Informed reports whether the node holds the message.
+func (f *Flood) Informed() bool { return f.informed }
+
+// InformedAt returns the slot the node learned the message, or -1.
+func (f *Flood) InformedAt() int64 { return f.informedAt }
+
+// TotalSlots returns the schedule budget.
+func (f *Flood) TotalSlots() int64 { return f.maxSlots }
+
+// RunFlood executes the flooding baseline until every node is informed
+// or the budget runs out; it returns the slot at which the last node
+// became informed (-1 if never) and whether all nodes were informed.
+func RunFlood(nw *radio.Network, p Params, d int, source radio.NodeID, msg any, seed uint64) (int64, bool, error) {
+	if err := nw.Validate(); err != nil {
+		return 0, false, err
+	}
+	if err := p.Normalize(); err != nil {
+		return 0, false, err
+	}
+	n := nw.Graph.N()
+	if int(source) < 0 || int(source) >= n {
+		return 0, false, fmt.Errorf("core: source %d out of range", source)
+	}
+	master := rng.New(seed)
+	floods := make([]*Flood, n)
+	protos := make([]radio.Protocol, n)
+	for u := 0; u < n; u++ {
+		fl, err := NewFlood(p, Env{ID: radio.NodeID(u), C: p.C, Rand: master.Split(uint64(u))}, d, radio.NodeID(u) == source, msg)
+		if err != nil {
+			return 0, false, err
+		}
+		floods[u] = fl
+		protos[u] = fl
+	}
+	e, err := radio.NewEngine(nw, protos)
+	if err != nil {
+		return 0, false, err
+	}
+	var doneAt int64 = -1
+	e.RunUntil(floods[0].TotalSlots()+1, func(slot int64) bool {
+		for _, fl := range floods {
+			if !fl.Informed() {
+				return false
+			}
+		}
+		doneAt = slot
+		return true
+	})
+	all := true
+	for _, fl := range floods {
+		if !fl.Informed() {
+			all = false
+			break
+		}
+	}
+	return doneAt, all, nil
+}

@@ -1,0 +1,189 @@
+// Package core implements the paper's algorithms: the COUNT estimation
+// procedure (Section 4.1, Appendix A), the CSEEK neighbor-discovery
+// algorithm (Section 4.2), its CKSEEK variant for k̂-neighbor-discovery
+// (Section 4.4), the CGCAST global-broadcast algorithm (Section 5), and
+// the baseline strategies the paper compares against.
+//
+// All algorithms are radio.Protocol state machines; they interact with
+// the world only through local channel labels, their own identifier,
+// private randomness, and the globally known model parameters
+// (n, c, k, kmax, Δ and, for broadcast, D) — exactly the knowledge the
+// paper grants nodes.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// Params carries the globally known model parameters together with the
+// constant multipliers hidden inside the paper's Θ(·) schedule lengths.
+// The multipliers are exposed so tests and experiments can trade run
+// time against failure probability; the asymptotic structure — which
+// schedule has how many steps and slots as a function of the model
+// parameters — is fixed by the paper.
+type Params struct {
+	// N is the number of nodes n (all "w.h.p." guarantees are with
+	// respect to N; logarithmic factors are lg N).
+	N int
+	// C is the number of channels each node can access.
+	C int
+	// K is the minimum number of channels any two neighbors share.
+	K int
+	// KMax is the maximum number of channels any two neighbors share.
+	KMax int
+	// Delta is Δ, the maximum node degree.
+	Delta int
+
+	// Tuning holds the constant multipliers. Zero-valued fields are
+	// replaced by defaults in Normalize.
+	Tuning Tuning
+}
+
+// Tuning collects every constant multiplier behind the paper's Θ(·)
+// bounds. DESIGN.md ("Constants behind Θ(·)") documents the policy.
+type Tuning struct {
+	// CountSlotsPerRound scales the Θ(lg n) slots per COUNT round:
+	// slots = max(CountMinRoundSlots, CountSlotsPerRound·lg n).
+	CountSlotsPerRound float64
+	// CountMinRoundSlots floors the round length so tiny networks still
+	// gather enough samples for the trigger statistics.
+	CountMinRoundSlots int
+	// CountThreshold is the trigger fraction: the listener adopts the
+	// first round in which it hears messages in more than this fraction
+	// of slots. The paper's analysis places it between the "too early"
+	// ceiling and the in-range floor; see Appendix A and DESIGN.md.
+	CountThreshold float64
+	// P1Steps scales part one of CSEEK: steps = P1Steps·(c²/k)·lg n.
+	P1Steps float64
+	// P2Steps scales part two of CSEEK: steps = P2Steps·(kmax/k)·Δ·lg n.
+	P2Steps float64
+	// NaiveSlots scales the naive baseline: slots =
+	// NaiveSlots·(c²/k)·Δ·lg n. Kept separate from P1Steps because the
+	// naive algorithm's per-slot success probability carries a 1/4
+	// role-coin factor with no COUNT amplification behind it.
+	NaiveSlots float64
+	// ColoringPhases scales the Θ(lg n) phases of the CGCAST coloring.
+	ColoringPhases float64
+	// DissemRounds scales the Θ(lg n) rounds per dissemination step.
+	DissemRounds float64
+}
+
+// DefaultTuning returns multipliers tuned so the w.h.p. guarantees hold
+// empirically at simulator scales (n up to a few hundred); the test
+// suite asserts this statistically.
+func DefaultTuning() Tuning {
+	return Tuning{
+		CountSlotsPerRound: 8,
+		CountMinRoundSlots: 48,
+		CountThreshold:     0.12,
+		P1Steps:            4,
+		P2Steps:            6,
+		NaiveSlots:         6,
+		ColoringPhases:     4,
+		DissemRounds:       2,
+	}
+}
+
+// Normalize fills zero-valued tuning fields with defaults and returns
+// an error for infeasible model parameters.
+func (p *Params) Normalize() error {
+	if p.N < 1 {
+		return fmt.Errorf("core: n must be >= 1, got %d", p.N)
+	}
+	if p.C < 1 {
+		return fmt.Errorf("core: c must be >= 1, got %d", p.C)
+	}
+	if p.K < 1 || p.K > p.C {
+		return fmt.Errorf("core: k must be in [1,c] = [1,%d], got %d", p.C, p.K)
+	}
+	if p.KMax < p.K || p.KMax > p.C {
+		return fmt.Errorf("core: kmax must be in [k,c] = [%d,%d], got %d", p.K, p.C, p.KMax)
+	}
+	maxDelta := p.N - 1
+	if maxDelta < 1 {
+		maxDelta = 1
+	}
+	if p.Delta < 1 || p.Delta > maxDelta {
+		return fmt.Errorf("core: Δ must be in [1,%d], got %d (n=%d)", maxDelta, p.Delta, p.N)
+	}
+	def := DefaultTuning()
+	t := &p.Tuning
+	if t.CountSlotsPerRound == 0 {
+		t.CountSlotsPerRound = def.CountSlotsPerRound
+	}
+	if t.CountMinRoundSlots == 0 {
+		t.CountMinRoundSlots = def.CountMinRoundSlots
+	}
+	if t.CountThreshold == 0 {
+		t.CountThreshold = def.CountThreshold
+	}
+	if t.P1Steps == 0 {
+		t.P1Steps = def.P1Steps
+	}
+	if t.P2Steps == 0 {
+		t.P2Steps = def.P2Steps
+	}
+	if t.NaiveSlots == 0 {
+		t.NaiveSlots = def.NaiveSlots
+	}
+	if t.ColoringPhases == 0 {
+		t.ColoringPhases = def.ColoringPhases
+	}
+	if t.DissemRounds == 0 {
+		t.DissemRounds = def.DissemRounds
+	}
+	return nil
+}
+
+// LgN returns ceil(lg n), floored at 4. The floor keeps the "repeat
+// Θ(lg n) times" amplification meaningful on the tiny networks used in
+// tests and examples, where ceil(lg n) alone would be 1–3 and the
+// "w.h.p." guarantees would degenerate.
+func (p Params) LgN() int {
+	l := lg2(p.N)
+	if l < 4 {
+		return 4
+	}
+	return l
+}
+
+// LgDelta returns ceil(lg Δ), at least 1; this is the slot count of
+// every back-off sequence in the paper (part two of CSEEK and the
+// dissemination rounds of CGCAST).
+func (p Params) LgDelta() int { return lg2(p.Delta) }
+
+// Env is the node-local execution environment handed to protocols: the
+// node's identifier, its channel count, and its private randomness.
+// Note there is deliberately no topology access.
+type Env struct {
+	ID   radio.NodeID
+	C    int
+	Rand *rng.Source
+}
+
+// lg2 returns ceil(log2(x)) for x >= 1, and 1 for x <= 2 — every
+// schedule in the paper needs at least one round/slot.
+func lg2(x int) int {
+	if x <= 2 {
+		return 1
+	}
+	l := bits.Len(uint(x - 1)) // ceil(log2 x) for x >= 2
+	return l
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// scaledSteps converts a Θ(·) step bound into a concrete step count:
+// max(1, round(mul·base·lgn)).
+func scaledSteps(mul float64, base, lgn int) int {
+	v := int(mul * float64(base) * float64(lgn))
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crn/internal/core"
+	"crn/internal/lowerbound"
+	"crn/internal/radio"
+	"crn/internal/rng"
+	"crn/internal/stats"
+)
+
+// E9HittingGame reproduces Lemma 10 / Theorem 13: every player of the
+// (c,k)-bipartite hitting game needs ≥ c²/(8k) rounds (for k ≤ c/2) to
+// win with probability 1/2. We measure the near-optimal sweep player
+// and the Lemma 11 reduction player wrapping the naive discovery
+// protocol.
+func E9HittingGame(scale Scale, seed uint64) (*Table, error) {
+	cases := []struct{ c, k int }{{8, 1}, {8, 4}, {16, 2}, {16, 8}, {32, 4}}
+	trials := 60
+	if scale == Quick {
+		cases = []struct{ c, k int }{{8, 2}, {16, 4}}
+		trials = 15
+	}
+
+	t := &Table{
+		ID:     "E9",
+		Title:  "(c,k)-bipartite hitting game",
+		Claim:  "Lemma 10 + Theorem 13: any ≥1/2-success player needs ≥ c²/(8k) rounds",
+		Header: []string{"c", "k", "floor c²/(8k)", "sweep med", "reduction med", "sweep/floor"},
+	}
+
+	master := rng.New(seed)
+	for _, tc := range cases {
+		floor := tc.c * tc.c / (8 * tc.k)
+		sweep := make([]float64, 0, trials)
+		reduction := make([]float64, 0, trials)
+		for i := 0; i < trials; i++ {
+			r := master.Split(uint64(tc.c)<<20 | uint64(tc.k)<<10 | uint64(i))
+
+			g1, err := lowerbound.NewGame(tc.c, tc.k, r)
+			if err != nil {
+				return nil, err
+			}
+			n, won := lowerbound.Play(g1, lowerbound.NewSweepPlayer(tc.c, r), tc.c*tc.c+1)
+			if !won {
+				return nil, fmt.Errorf("experiments: sweep player lost at c=%d k=%d", tc.c, tc.k)
+			}
+			sweep = append(sweep, float64(n))
+
+			g2, err := lowerbound.NewGame(tc.c, tc.k, r)
+			if err != nil {
+				return nil, err
+			}
+			p := core.Params{N: 2, C: tc.c, K: tc.k, KMax: tc.k, Delta: 1}
+			mk := func(restart int) (radio.Protocol, radio.Protocol) {
+				u, errU := core.NewNaiveSeek(p, core.Env{ID: 0, C: tc.c, Rand: r.Split(uint64(restart)*2 + 1)})
+				v, errV := core.NewNaiveSeek(p, core.Env{ID: 1, C: tc.c, Rand: r.Split(uint64(restart)*2 + 2)})
+				if errU != nil || errV != nil {
+					panic(fmt.Sprintf("experiments: naive seek construction: %v %v", errU, errV))
+				}
+				return u, v
+			}
+			player, err := lowerbound.NewReductionPlayer(mk)
+			if err != nil {
+				return nil, err
+			}
+			n, won = lowerbound.Play(g2, player, 1<<24)
+			if !won {
+				return nil, fmt.Errorf("experiments: reduction player lost at c=%d k=%d", tc.c, tc.k)
+			}
+			reduction = append(reduction, float64(n))
+		}
+		sw := stats.Summarize(sweep)
+		rd := stats.Summarize(reduction)
+		t.AddRow(itoa(int64(tc.c)), itoa(int64(tc.k)), itoa(int64(floor)),
+			f1(sw.Median), f1(rd.Median), f2(sw.Median/float64(floor)))
+	}
+	t.AddNote("paper: medians ≥ floor for every player; the sweep player shows the floor is within a small constant of achievable")
+	return t, nil
+}
+
+// E10CompleteGame reproduces Lemma 12: the c-complete bipartite hitting
+// game needs ≥ c/3 rounds.
+func E10CompleteGame(scale Scale, seed uint64) (*Table, error) {
+	cs := []int{8, 16, 32, 64}
+	trials := 80
+	if scale == Quick {
+		cs = []int{8, 16}
+		trials = 20
+	}
+
+	t := &Table{
+		ID:     "E10",
+		Title:  "c-complete bipartite hitting game",
+		Claim:  "Lemma 12: any ≥1/2-success player needs ≥ c/3 rounds",
+		Header: []string{"c", "floor c/3", "sweep med", "uniform med", "sweep/floor"},
+	}
+
+	master := rng.New(seed)
+	for _, c := range cs {
+		sweep := make([]float64, 0, trials)
+		uniform := make([]float64, 0, trials)
+		for i := 0; i < trials; i++ {
+			r := master.Split(uint64(c)<<16 | uint64(i))
+			g1, err := lowerbound.NewCompleteGame(c, r)
+			if err != nil {
+				return nil, err
+			}
+			n, won := lowerbound.Play(g1, lowerbound.NewSweepPlayer(c, r), c*c+1)
+			if !won {
+				return nil, fmt.Errorf("experiments: sweep player lost complete game at c=%d", c)
+			}
+			sweep = append(sweep, float64(n))
+
+			g2, err := lowerbound.NewCompleteGame(c, r)
+			if err != nil {
+				return nil, err
+			}
+			n, won = lowerbound.Play(g2, lowerbound.NewUniformPlayer(c, r), 1<<24)
+			if !won {
+				return nil, fmt.Errorf("experiments: uniform player lost complete game at c=%d", c)
+			}
+			uniform = append(uniform, float64(n))
+		}
+		sw := stats.Summarize(sweep)
+		un := stats.Summarize(uniform)
+		floor := c / 3
+		t.AddRow(itoa(int64(c)), itoa(int64(floor)), f1(sw.Median), f1(un.Median),
+			f2(sw.Median/float64(floor)))
+	}
+	t.AddNote("paper: medians ≥ c/3; the sweep player's median ≈ c²/(c+1) ≈ c shows the floor is loose by ≈ 3x")
+	return t, nil
+}

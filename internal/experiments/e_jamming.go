@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crn/internal/chanassign"
+	"crn/internal/graph"
+	"crn/internal/rng"
+	"crn/internal/spectrum"
+)
+
+// E13Jamming measures CSEEK's robustness to primary-user activity —
+// the deployment regime cognitive radio networks exist for (Section 1:
+// secondary users must yield spectrum whenever a licensed primary user
+// appears).
+//
+// The jamming granularity matters and the experiment sweeps it:
+//
+//   - fast jamming (bursts much shorter than a CSEEK part-one step) is
+//     absorbed almost completely — a step's COUNT execution only needs
+//     one clean solo slot, and the within-step redundancy provides
+//     many;
+//   - step-scale bursts wipe out whole steps, thinning the per-step
+//     meeting probability; the damage lands unevenly across pairs, so
+//     the median moves little while the slowest pairs start missing
+//     the schedule entirely (the completion column).
+func E13Jamming(scale Scale, seed uint64) (*Table, error) {
+	duties := []float64{0.3, 0.6}
+	trials := 3
+	n := 16
+	if scale == Quick {
+		duties = []float64{0.6}
+		trials = 1
+		n = 12
+	}
+	const c, k = 5, 2
+
+	t := &Table{
+		ID:     "E13",
+		Title:  "CSEEK under primary-user jamming",
+		Claim:  "Extension: fast jamming is absorbed; step-scale bursts push the discovery tail past the schedule",
+		Header: []string{"burst scale", "duty", "occupancy", "CSEEK med", "slowdown", "complete"},
+	}
+
+	g, err := graph.GNP(n, 0.35, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	a, err := chanassign.SharedCore(n, c, k, rng.New(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	in, err := newInstance(g, a)
+	if err != nil {
+		return nil, err
+	}
+	// One CSEEK part-one step is a COUNT execution of
+	// (lgΔ+1)·max(CountMinRoundSlots, CountSlotsPerRound·lg n) slots;
+	// burst periods are expressed relative to it.
+	spr := int64(in.p.Tuning.CountSlotsPerRound * float64(in.p.LgN()))
+	if spr < int64(in.p.Tuning.CountMinRoundSlots) {
+		spr = int64(in.p.Tuning.CountMinRoundSlots)
+	}
+	countSlots := int64(in.p.LgDelta()+1) * spr
+	bursts := []struct {
+		name   string
+		period int64
+	}{
+		{name: "fast (period ≪ step)", period: 40},
+		{name: "step-scale bursts", period: 6 * countSlots},
+	}
+
+	// Baseline without jamming.
+	in.nw.Jammer = nil
+	base, _, err := medianTimeToDiscovery(in, cseekFactory, trials, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("none", "0.00", "0.00", f1(base), "1.00", fmt.Sprintf("%d/%d", trials, trials))
+
+	for _, burst := range bursts {
+		for _, duty := range duties {
+			on := int64(duty * float64(burst.period))
+			stride := burst.period / int64(in.a.Universe)
+			if stride < 1 {
+				stride = 1
+			}
+			j, err := spectrum.NewPeriodic(burst.period, on, stride, nil)
+			if err != nil {
+				return nil, err
+			}
+			in.nw.Jammer = j
+			occupancy := spectrum.OccupancyFraction(j, in.a.Universe, 10*burst.period)
+			med, incomplete, err := medianTimeToDiscovery(in, cseekFactory, trials, seed+3)
+			if err != nil {
+				return nil, err
+			}
+			slowdown := "-"
+			if base > 0 {
+				slowdown = f2(med / base)
+			}
+			t.AddRow(burst.name, f2(duty), f2(occupancy), f1(med), slowdown,
+				fmt.Sprintf("%d/%d", trials-incomplete, trials))
+		}
+	}
+	in.nw.Jammer = nil
+	t.AddNote("fast jamming leaves the slowdown near 1.00 (COUNT's within-step redundancy); step-scale bursts move the median only slightly but push the tail past the schedule — the completion column is where the damage shows; the algorithm never assumed clear spectrum, only the k-shared-channels guarantee")
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"crn/internal/chanassign"
+	"crn/internal/core"
+	"crn/internal/graph"
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// E14Rendezvous reproduces the related-work argument of Section 2:
+// rendezvous-style channel hopping guarantees plenty of *meetings*,
+// but without contention resolution the meetings rarely deliver
+// identities. A star center listens on random channels while its Δ
+// leaves hop and transmit under three strategies; the back-off sweep
+// (CSEEK's part-two mechanism) is what turns meetings into discovery.
+func E14Rendezvous(scale Scale, seed uint64) (*Table, error) {
+	leaves := 16
+	budget := int64(6000)
+	if scale == Quick {
+		leaves = 8
+		budget = 2000
+	}
+	const c = 4
+
+	t := &Table{
+		ID:     "E14",
+		Title:  "Rendezvous meetings vs deliveries",
+		Claim:  "Section 2: \"simple meeting does not always imply successful exchange of identities\"",
+		Header: []string{"leaf strategy", "meetings", "deliveries", "delivery rate", "found", "census@"},
+	}
+
+	for _, strategy := range []core.HopStrategy{core.HopAlways, core.HopCoin, core.HopBackoff} {
+		row, err := runRendezvousTrial(leaves, c, budget, strategy, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("meetings = listener slots with ≥1 co-channel broadcaster (deliveries+collisions); always-broadcast rendezvous meets constantly but collides; the back-off sweep resolves contention — the gap CSEEK closes")
+	return t, nil
+}
+
+func runRendezvousTrial(leaves, c int, budget int64, strategy core.HopStrategy, seed uint64) ([]string, error) {
+	n := leaves + 1
+	g := graph.Star(n)
+	a, err := chanassign.Identical(n, c, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	p := core.Params{N: n, C: c, K: c, KMax: c, Delta: leaves}
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	master := rng.New(seed + uint64(strategy))
+
+	center, err := core.NewListenRecorder(p, core.Env{ID: 0, C: c, Rand: master.Split(0)}, budget)
+	if err != nil {
+		return nil, err
+	}
+	protos := make([]radio.Protocol, n)
+	protos[0] = center
+	for i := 1; i < n; i++ {
+		// Modular hop rates: odd rates are coprime with c = 4.
+		rate := 2*i + 1
+		hb, err := core.NewHopBroadcaster(p, core.Env{ID: radio.NodeID(i), C: c, Rand: master.Split(uint64(i))},
+			strategy, true /* modular */, rate, i, budget)
+		if err != nil {
+			return nil, err
+		}
+		protos[i] = hb
+	}
+	e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a}, protos)
+	if err != nil {
+		return nil, err
+	}
+	st := e.Run(budget + 1)
+
+	// Only the center listens, so engine-wide listener stats are the
+	// center's: meetings = deliveries + collisions.
+	meetings := st.Deliveries + st.Collisions
+	rate := 0.0
+	if meetings > 0 {
+		rate = float64(st.Deliveries) / float64(meetings)
+	}
+	censusAt := "censored"
+	if center.HeardCount() == leaves {
+		censusAt = itoa(center.LastFirstHeard())
+	}
+	return []string{
+		strategy.String(),
+		itoa(meetings),
+		itoa(st.Deliveries),
+		f2(rate),
+		itoa(int64(center.HeardCount())),
+		censusAt,
+	}, nil
+}

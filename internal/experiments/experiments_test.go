@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment at Quick scale and
+// checks the tables are well-formed. This is the smoke test that keeps
+// the whole harness runnable.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, def := range All() {
+		def := def
+		t.Run(def.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := def.Run(Quick, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", def.ID, err)
+			}
+			if tbl.ID != def.ID {
+				t.Errorf("table ID %q, want %q", tbl.ID, def.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("empty table")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells for %d headers", i, len(row), len(tbl.Header))
+				}
+			}
+			var sb strings.Builder
+			if err := tbl.Render(&sb); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(sb.String(), def.ID) {
+				t.Error("rendered output missing experiment ID")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("E1"); !ok {
+		t.Error("E1 not found")
+	}
+	if _, ok := Find("e9"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestAllUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range All() {
+		if seen[d.ID] {
+			t.Errorf("duplicate experiment ID %s", d.ID)
+		}
+		seen[d.ID] = true
+		if d.Run == nil {
+			t.Errorf("%s has nil Run", d.ID)
+		}
+		if d.Title == "" || d.Claim == "" {
+			t.Errorf("%s missing title or claim", d.ID)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "test",
+		Claim:  "claim",
+		Header: []string{"a", "bb"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("note %d", 7)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### EX — test", "claim", "| a ", "| 333", "> note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE11FloorHolds parses E11's output and asserts the measured
+// broadcast times respect the Theorem 14 floor.
+func TestE11FloorHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	tbl, err := E11TreeBound(Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		floor, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad floor cell %q", row[2])
+		}
+		for _, col := range []int{3, 4} {
+			if row[col] == "censored" {
+				continue
+			}
+			v, err := strconv.Atoi(row[col])
+			if err != nil {
+				t.Fatalf("bad cell %q", row[col])
+			}
+			if v < floor {
+				t.Errorf("measured %d below floor %d", v, floor)
+			}
+		}
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median = %v, want 2", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %v, want 0", got)
+	}
+	in := []float64{5, 4}
+	median(in)
+	if in[0] != 5 {
+		t.Error("median mutated input")
+	}
+}

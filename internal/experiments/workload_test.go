@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestStarWithWeakLinkOverlaps verifies the E4 workload realizes
+// exactly the overlap structure its experiment assumes: star edges
+// share kmax channels, the appendage edge shares exactly one.
+func TestStarWithWeakLinkOverlaps(t *testing.T) {
+	for _, kmax := range []int{1, 2, 4} {
+		in, err := starWithWeakLink(9, 8, kmax, uint64(kmax))
+		if err != nil {
+			t.Fatalf("kmax=%d: %v", kmax, err)
+		}
+		n := in.g.N()
+		if n != 11 { // center + 9 leaves + appendage
+			t.Fatalf("kmax=%d: n = %d, want 11", kmax, n)
+		}
+		appendage := n - 1
+		for v := 1; v <= 9; v++ {
+			if got := in.a.SharedCount(0, v); got != kmax {
+				t.Errorf("kmax=%d: star edge (0,%d) shares %d, want %d", kmax, v, got, kmax)
+			}
+		}
+		if got := in.a.SharedCount(1, appendage); got != 1 {
+			t.Errorf("kmax=%d: weak link shares %d, want 1", kmax, got)
+		}
+		if in.p.K != 1 {
+			t.Errorf("kmax=%d: realized k = %d, want 1", kmax, in.p.K)
+		}
+		if in.p.KMax != kmax && !(kmax == 1) {
+			t.Errorf("realized kmax = %d, want %d", in.p.KMax, kmax)
+		}
+	}
+	if _, err := starWithWeakLink(5, 3, 3, 1); err == nil {
+		t.Error("kmax+1 > c accepted")
+	}
+}
+
+// TestNewInstanceDerivesParams checks parameter derivation from
+// realized workloads.
+func TestNewInstanceDerivesParams(t *testing.T) {
+	in, err := starWithWeakLink(5, 4, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.p.N != in.g.N() || in.p.C != 4 {
+		t.Errorf("params %+v inconsistent with workload", in.p)
+	}
+	if in.p.Delta != in.g.MaxDegree() {
+		t.Errorf("Δ = %d, graph says %d", in.p.Delta, in.g.MaxDegree())
+	}
+}

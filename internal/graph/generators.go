@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"fmt"
+
+	"crn/internal/rng"
+)
+
+// Star returns a star on n vertices with vertex 0 at the center.
+// It is the topology behind the Ω(Δ) term in Theorem 13: the center can
+// learn at most one identity per slot.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v)
+	}
+	g.Finalize()
+	return g
+}
+
+// Path returns a path 0-1-2-…-(n-1), the maximum-diameter tree.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v-1, v)
+	}
+	g.Finalize()
+	return g
+}
+
+// Cycle returns a cycle on n ≥ 3 vertices.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	g := Path(n)
+	g.MustAddEdge(0, n-1)
+	g.Finalize()
+	return g, nil
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// CompleteTree returns a complete rooted tree of the given height in
+// which every internal vertex has `branching` children, along with the
+// number of vertices. Vertex 0 is the root. This is the topology in the
+// proof of Theorem 14 (with branching = min{c,Δ}−1).
+func CompleteTree(branching, height int) (*Graph, error) {
+	if branching < 1 {
+		return nil, fmt.Errorf("graph: tree branching must be >= 1, got %d", branching)
+	}
+	if height < 0 {
+		return nil, fmt.Errorf("graph: tree height must be >= 0, got %d", height)
+	}
+	// Count vertices: sum of branching^level for level = 0..height.
+	n := 1
+	levelSize := 1
+	for l := 1; l <= height; l++ {
+		levelSize *= branching
+		n += levelSize
+		if n > 1<<22 {
+			return nil, fmt.Errorf("graph: complete tree too large (%d vertices)", n)
+		}
+	}
+	g := New(n)
+	// Assign ids level by level; children of vertex v at index i within
+	// its level start right after all previously allocated vertices.
+	next := 1
+	var frontier []int
+	frontier = append(frontier, 0)
+	for l := 0; l < height; l++ {
+		var nextFrontier []int
+		for _, p := range frontier {
+			for c := 0; c < branching; c++ {
+				g.MustAddEdge(p, next)
+				nextFrontier = append(nextFrontier, next)
+				next++
+			}
+		}
+		frontier = nextFrontier
+	}
+	g.Finalize()
+	return g, nil
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: grid needs positive dims, got %dx%d", rows, cols)
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g.Finalize()
+	return g, nil
+}
+
+// ClusterChain returns a "chain of clusters": numClusters cliques of
+// size clusterSize, with one bridge edge joining consecutive clusters.
+// It produces networks with both large Δ (inside clusters) and large D
+// (across the chain), the regime where CGCAST's D·Δ term is visible.
+func ClusterChain(numClusters, clusterSize int) (*Graph, error) {
+	if numClusters < 1 || clusterSize < 1 {
+		return nil, fmt.Errorf("graph: cluster chain needs positive params, got %d clusters of %d", numClusters, clusterSize)
+	}
+	n := numClusters * clusterSize
+	g := New(n)
+	for cl := 0; cl < numClusters; cl++ {
+		base := cl * clusterSize
+		for i := 0; i < clusterSize; i++ {
+			for j := i + 1; j < clusterSize; j++ {
+				g.MustAddEdge(base+i, base+j)
+			}
+		}
+		if cl > 0 {
+			// Bridge from the last vertex of the previous cluster to the
+			// first vertex of this one.
+			g.MustAddEdge(base-1, base)
+		}
+	}
+	g.Finalize()
+	return g, nil
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph. It retries up to 64 seeds
+// derived from r until the sample is connected, and errors if none is.
+func GNP(n int, p float64, r *rng.Source) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: GNP needs n >= 1, got %d", n)
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Bernoulli(p) {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		if g.Connected() {
+			g.Finalize()
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: GNP(n=%d, p=%v) produced no connected sample in 64 attempts", n, p)
+}
+
+// UnitDisk returns a random geometric (unit-disk) graph: n points
+// uniform in the unit square, edges between pairs within the given
+// radius. Retries until connected, erroring after 64 attempts. Unit
+// disk graphs are the standard abstraction for wireless transmission
+// ranges.
+func UnitDisk(n int, radius float64, r *rng.Source) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: UnitDisk needs n >= 1, got %d", n)
+	}
+	r2 := radius * radius
+	for attempt := 0; attempt < 64; attempt++ {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = r.Float64()
+			ys[i] = r.Float64()
+		}
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+				if dx*dx+dy*dy <= r2 {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		if g.Connected() {
+			g.Finalize()
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: UnitDisk(n=%d, radius=%v) produced no connected sample in 64 attempts", n, radius)
+}
+
+// RandomRegularish returns a connected graph where every vertex has
+// degree close to d, built by threading a Hamiltonian cycle (for
+// connectivity) and adding random chords. Exact regularity is not
+// guaranteed, but degrees stay within [2, d+1]. Useful for sweeping Δ
+// at fixed n.
+func RandomRegularish(n, d int, r *rng.Source) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: RandomRegularish needs n >= 3, got %d", n)
+	}
+	if d < 2 || d >= n {
+		return nil, fmt.Errorf("graph: RandomRegularish needs 2 <= d < n, got d=%d n=%d", d, n)
+	}
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		u, v := perm[i], perm[(i+1)%n]
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	// Add chords until average degree reaches d, never exceeding d+1 on
+	// any endpoint.
+	target := n * d / 2
+	tries := 0
+	for g.M() < target && tries < 50*n*d {
+		tries++
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) || g.Degree(u) > d || g.Degree(v) > d {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	g.Finalize()
+	return g, nil
+}
+
+// TwoNode returns the 2-vertex, 1-edge graph used by the Lemma 11
+// reduction (a network containing only two nodes u and v).
+func TwoNode() *Graph {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	g.Finalize()
+	return g
+}

@@ -1,0 +1,249 @@
+// Package graph models the network topology of a cognitive radio
+// network as an undirected simple graph, as in Section 3 of the paper:
+// vertices are nodes, and an edge connects two nodes iff they are
+// neighbors (within range and sharing channels).
+//
+// The package provides the structural queries the algorithms and their
+// analyses need — degree Δ, diameter D, BFS layers, connectivity — plus
+// the line-graph construction CGCAST uses to turn edge coloring into
+// node coloring, and generators for the worst-case topologies in the
+// lower-bound proofs (stars, complete trees) and for random networks.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph on vertices 0..N-1.
+// Construct with New and AddEdge; the structure is append-only.
+type Graph struct {
+	n     int
+	adj   [][]int32 // sorted after Finalize
+	edges []Edge    // each with U < V
+	final bool
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int32, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error for
+// self-loops, out-of-range endpoints, or duplicate edges.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.edges = append(g.edges, Edge{U: int32(u), V: int32(v)})
+	g.final = false
+	return nil
+}
+
+// MustAddEdge is AddEdge for generator code where the edge is known
+// valid by construction; it panics on error.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		v = u
+	}
+	for _, w := range a {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The caller must not
+// modify the returned slice.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns Δ, the maximum degree (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) > d {
+			d = len(g.adj[u])
+		}
+	}
+	return d
+}
+
+// Edges returns all edges with U < V. The caller must not modify the
+// returned slice.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Finalize sorts adjacency lists for deterministic iteration order.
+// Generators call it before returning; it is idempotent.
+func (g *Graph) Finalize() {
+	if g.final {
+		return
+	}
+	for u := range g.adj {
+		sort.Slice(g.adj[u], func(i, j int) bool { return g.adj[u][i] < g.adj[u][j] })
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].U != g.edges[j].U {
+			return g.edges[i].U < g.edges[j].U
+		}
+		return g.edges[i].V < g.edges[j].V
+	})
+	g.final = true
+}
+
+// BFS returns the hop distance from src to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	queue := make([]int32, 0, g.n)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected. Empty and
+// single-vertex graphs count as connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the diameter D (longest shortest path). It returns
+// -1 for disconnected graphs and 0 for graphs with fewer than two
+// vertices. Cost is O(n·m): one BFS per vertex.
+func (g *Graph) Diameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	d := 0
+	for u := 0; u < g.n; u++ {
+		for _, dv := range g.BFS(u) {
+			if dv == -1 {
+				return -1
+			}
+			if dv > d {
+				d = dv
+			}
+		}
+	}
+	return d
+}
+
+// Eccentricity returns the greatest BFS distance from src, or -1 if
+// some vertex is unreachable.
+func (g *Graph) Eccentricity(src int) int {
+	e := 0
+	for _, d := range g.BFS(src) {
+		if d == -1 {
+			return -1
+		}
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// LineGraph returns the line graph G_L of g together with the mapping
+// from G_L vertices back to g's edges: vertex i of the line graph is
+// edge Edges()[i] of g, and two line-graph vertices are adjacent iff
+// the corresponding edges share an endpoint (Section 5.2).
+func (g *Graph) LineGraph() (*Graph, []Edge) {
+	g.Finalize()
+	edgeIdx := make(map[Edge]int, len(g.edges))
+	for i, e := range g.edges {
+		edgeIdx[e] = i
+	}
+	lg := New(len(g.edges))
+	// Two edges are adjacent in G_L iff they share an endpoint: for
+	// every vertex u, connect all pairs of edges incident to u.
+	for u := 0; u < g.n; u++ {
+		inc := g.adj[u]
+		for i := 0; i < len(inc); i++ {
+			ei := edgeIdx[mkEdge(int32(u), inc[i])]
+			for j := i + 1; j < len(inc); j++ {
+				ej := edgeIdx[mkEdge(int32(u), inc[j])]
+				if !lg.HasEdge(ei, ej) {
+					lg.MustAddEdge(ei, ej)
+				}
+			}
+		}
+	}
+	lg.Finalize()
+	edges := make([]Edge, len(g.edges))
+	copy(edges, g.edges)
+	return lg, edges
+}
+
+func mkEdge(u, v int32) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}

@@ -1,0 +1,148 @@
+// Package lowerbound implements the combinatorial games behind the
+// paper's lower bounds (Section 6).
+//
+// The (c,k)-bipartite hitting game: a referee privately selects a
+// matching M of size k in the complete bipartite graph on two c-vertex
+// sides A and B. A player proposes one edge per round and wins on the
+// first proposal inside M. Lemma 10 (from [4]): any player that wins
+// within f(c,k) rounds with probability ≥ 1/2 has f(c,k) ≥ c²/(αk)
+// with 2 < α = 2(β/(β−1))² ≤ 8 for k ≤ c/β.
+//
+// The c-complete bipartite hitting game is the k = c case (the referee
+// picks a perfect matching); Lemma 12 gives the floor f(c) ≥ c/3.
+//
+// Lemma 11's reduction: a neighbor-discovery algorithm yields a player
+// — simulate a two-node network whose channel overlap is the hidden
+// matching, and propose, each slot, the pair of channels the two
+// simulated nodes tune to. Until the player wins, the simulation
+// faithfully feeds both nodes silence, because the nodes have not yet
+// landed on a shared channel. ReductionPlayer implements exactly this.
+package lowerbound
+
+import (
+	"fmt"
+
+	"crn/internal/rng"
+)
+
+// Game is one instance of the (c,k)-bipartite hitting game.
+type Game struct {
+	c, k     int
+	matching map[int]int // a-side index -> b-side index
+	rounds   int
+	won      bool
+}
+
+// NewGame creates a game whose referee picks a uniform random matching
+// of size k. Requires 1 <= k <= c.
+func NewGame(c, k int, r *rng.Source) (*Game, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("lowerbound: c must be >= 1, got %d", c)
+	}
+	if k < 1 || k > c {
+		return nil, fmt.Errorf("lowerbound: k must be in [1,c] = [1,%d], got %d", c, k)
+	}
+	aSide := r.SampleK(c, k)
+	bSide := r.SampleK(c, k)
+	perm := r.Perm(k)
+	m := make(map[int]int, k)
+	for i, a := range aSide {
+		m[a] = bSide[perm[i]]
+	}
+	return &Game{c: c, k: k, matching: m}, nil
+}
+
+// NewCompleteGame creates the c-complete bipartite hitting game (the
+// referee picks a uniform random perfect matching).
+func NewCompleteGame(c int, r *rng.Source) (*Game, error) {
+	return NewGame(c, c, r)
+}
+
+// C returns the side size.
+func (g *Game) C() int { return g.c }
+
+// K returns the matching size.
+func (g *Game) K() int { return g.k }
+
+// Rounds returns the number of proposals made so far.
+func (g *Game) Rounds() int { return g.rounds }
+
+// Won reports whether a proposal has hit the matching.
+func (g *Game) Won() bool { return g.won }
+
+// Propose submits edge (a, b) and reports whether it is in the hidden
+// matching. Out-of-range proposals count as (losing) rounds.
+func (g *Game) Propose(a, b int) bool {
+	if g.won {
+		return true
+	}
+	g.rounds++
+	if b2, ok := g.matching[a]; ok && b2 == b {
+		g.won = true
+	}
+	return g.won
+}
+
+// Player proposes one edge per round.
+type Player interface {
+	// NextProposal returns the edge to propose this round.
+	NextProposal() (a, b int)
+	// ObserveMiss informs the player the previous proposal missed.
+	ObserveMiss()
+}
+
+// Play runs player against game until the player wins or maxRounds
+// proposals have been made. It returns the number of rounds consumed
+// and whether the player won.
+func Play(g *Game, p Player, maxRounds int) (int, bool) {
+	for g.Rounds() < maxRounds && !g.Won() {
+		a, b := p.NextProposal()
+		if g.Propose(a, b) {
+			return g.Rounds(), true
+		}
+		p.ObserveMiss()
+	}
+	return g.Rounds(), g.Won()
+}
+
+// UniformPlayer proposes independent uniform random edges.
+type UniformPlayer struct {
+	c int
+	r *rng.Source
+}
+
+// NewUniformPlayer returns a memoryless uniform player.
+func NewUniformPlayer(c int, r *rng.Source) *UniformPlayer {
+	return &UniformPlayer{c: c, r: r}
+}
+
+// NextProposal implements Player.
+func (p *UniformPlayer) NextProposal() (int, int) {
+	return p.r.Intn(p.c), p.r.Intn(p.c)
+}
+
+// ObserveMiss implements Player.
+func (p *UniformPlayer) ObserveMiss() {}
+
+// SweepPlayer enumerates all c² edges in a random order without
+// repetition — the natural near-optimal strategy (expected hitting
+// time (c²+1)/(k+1)).
+type SweepPlayer struct {
+	c    int
+	perm []int
+	pos  int
+}
+
+// NewSweepPlayer returns a sweep player with a fresh random order.
+func NewSweepPlayer(c int, r *rng.Source) *SweepPlayer {
+	return &SweepPlayer{c: c, perm: r.Perm(c * c)}
+}
+
+// NextProposal implements Player.
+func (p *SweepPlayer) NextProposal() (int, int) {
+	e := p.perm[p.pos%len(p.perm)]
+	return e / p.c, e % p.c
+}
+
+// ObserveMiss implements Player.
+func (p *SweepPlayer) ObserveMiss() { p.pos++ }

@@ -1,0 +1,136 @@
+package radio
+
+// This file adapts blocking, goroutine-style node code to the engine's
+// Protocol interface. Goroutines model radio nodes naturally: a node's
+// program is a straight-line function that repeatedly calls
+// Transceiver.Step to use the radio for one slot, and the adapter turns
+// those calls into Act/Observe exchanges with the engine.
+//
+// The engine remains the single clock. After every radio step the
+// adapter waits until the node program either issues its next step or
+// returns, so the engine always knows each node's exact state and runs
+// are fully deterministic regardless of goroutine scheduling.
+
+// stepResult carries the outcome of one slot back to the node program.
+type stepResult struct {
+	msg  *Message
+	slot int64
+}
+
+// Transceiver is the blocking radio handle given to goroutine-style
+// node programs.
+type Transceiver struct {
+	actionCh chan Action
+	resultCh chan stepResult
+	lastSlot int64
+}
+
+// Step performs one slot with the given action and returns the message
+// heard (nil unless the action was Listen and exactly one neighbor
+// broadcast on the chosen channel).
+func (t *Transceiver) Step(a Action) *Message {
+	t.actionCh <- a
+	res := <-t.resultCh
+	t.lastSlot = res.slot
+	return res.msg
+}
+
+// ListenOn is shorthand for a Listen step on local channel ch.
+func (t *Transceiver) ListenOn(ch int) *Message {
+	return t.Step(Action{Kind: Listen, Ch: ch})
+}
+
+// BroadcastOn is shorthand for a Broadcast step on local channel ch.
+func (t *Transceiver) BroadcastOn(ch int, data any) {
+	t.Step(Action{Kind: Broadcast, Ch: ch, Data: data})
+}
+
+// IdleSlot is shorthand for an Idle step.
+func (t *Transceiver) IdleSlot() {
+	t.Step(Action{Kind: Idle})
+}
+
+// LastSlot returns the slot number in which the most recent Step
+// executed (0 before the first step completes).
+func (t *Transceiver) LastSlot() int64 { return t.lastSlot }
+
+// GoProtocol runs a blocking node program in its own goroutine and
+// exposes it as a Protocol. The program must call t.Step (or a
+// shorthand) once per radio slot it wants to use and return when
+// finished; after it returns, the node reports Done.
+type GoProtocol struct {
+	t        *Transceiver
+	run      func(t *Transceiver)
+	finished chan struct{}
+
+	started  bool
+	done     bool
+	buffered *Action // next action, received ahead of Act
+	awaiting bool    // an Act was handed out; Observe owes a result
+	slot     int64   // slot of the outstanding action
+}
+
+var _ Protocol = (*GoProtocol)(nil)
+
+// NewGoProtocol wraps run as a Protocol. The goroutine starts lazily on
+// the first Act call and exits when run returns, so an engine that
+// never steps the protocol leaks nothing.
+func NewGoProtocol(run func(t *Transceiver)) *GoProtocol {
+	return &GoProtocol{
+		t: &Transceiver{
+			actionCh: make(chan Action),
+			resultCh: make(chan stepResult),
+		},
+		finished: make(chan struct{}),
+		run:      run,
+	}
+}
+
+// Act implements Protocol.
+func (p *GoProtocol) Act(slot int64) Action {
+	if p.done {
+		return Action{Kind: Idle}
+	}
+	if !p.started {
+		p.started = true
+		go func() {
+			defer close(p.finished)
+			p.run(p.t)
+		}()
+		p.await()
+		if p.done {
+			return Action{Kind: Idle}
+		}
+	}
+	a := *p.buffered
+	p.buffered = nil
+	p.awaiting = true
+	p.slot = slot
+	return a
+}
+
+// Observe implements Protocol.
+func (p *GoProtocol) Observe(_ int64, msg *Message) {
+	if p.done || !p.awaiting {
+		return
+	}
+	p.awaiting = false
+	p.t.resultCh <- stepResult{msg: msg, slot: p.slot}
+	p.await()
+}
+
+// Done implements Protocol.
+func (p *GoProtocol) Done() bool { return p.done }
+
+// await blocks until the node program either issues its next action
+// (buffered for the following Act) or returns (marking the protocol
+// done). Called whenever the program is runnable: right after start
+// and right after each result delivery.
+func (p *GoProtocol) await() {
+	select {
+	case a := <-p.t.actionCh:
+		p.buffered = &a
+	case <-p.finished:
+		p.done = true
+	}
+}

@@ -1,0 +1,350 @@
+// Package radio implements the synchronous cognitive-radio network
+// model of Section 3 of the paper.
+//
+// Time is divided into discrete slots. In each slot every node tunes
+// its transceiver to one of its c channels (named by a node-local
+// label) and either broadcasts, listens, or idles. A listening node u
+// hears a message iff exactly one neighbor of u broadcasts on u's
+// current channel in that slot; silence and collisions (two or more
+// broadcasting neighbors) are indistinguishable — there is no collision
+// detection. A broadcasting node "receives" only its own message.
+//
+// Protocols are written against the Protocol interface and stepped by
+// an Engine. Two engines are provided with identical semantics: a
+// sequential engine (Run) and a goroutine-parallel engine
+// (RunParallel) that fans the per-node work out to workers; results are
+// bit-identical because randomness lives in per-node streams.
+package radio
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"crn/internal/chanassign"
+	"crn/internal/graph"
+)
+
+// NodeID identifies a node (its index in the graph).
+type NodeID int32
+
+// Kind enumerates what a node does with its transceiver in one slot.
+type Kind uint8
+
+// Transceiver actions. A node does exactly one per slot.
+const (
+	Idle Kind = iota + 1
+	Listen
+	Broadcast
+)
+
+// Message is a frame delivered by the radio. Data is protocol-defined;
+// the engine treats it opaquely.
+type Message struct {
+	From NodeID
+	Data any
+}
+
+// Action is a node's decision for one slot. Ch is a local channel
+// label in [0, c); it is ignored for Idle.
+type Action struct {
+	Kind Kind
+	Ch   int
+	Data any
+}
+
+// Protocol is a node-local state machine driven by the engine.
+//
+// Each slot the engine calls Act once, resolves the radio, then calls
+// Observe exactly once: msg is non-nil iff the node listened and heard
+// a message (exactly one broadcasting neighbor on its channel). The
+// engine never calls Act again after Done reports true.
+type Protocol interface {
+	Act(slot int64) Action
+	Observe(slot int64, msg *Message)
+	Done() bool
+}
+
+// Stats aggregates engine counters for one run.
+type Stats struct {
+	// Slots is the number of slots executed.
+	Slots int64
+	// Broadcasts, Listens and Idles count node-slot actions.
+	Broadcasts int64
+	Listens    int64
+	Idles      int64
+	// Deliveries counts messages heard by listeners.
+	Deliveries int64
+	// Collisions counts listener-slots lost to two or more
+	// simultaneously broadcasting neighbors.
+	Collisions int64
+	// JammedListens counts listener-slots lost to primary users.
+	JammedListens int64
+	// Completed reports whether every protocol finished before the
+	// slot budget ran out.
+	Completed bool
+}
+
+// TraceFunc observes every delivery the engine resolves, for debugging
+// and the crntrace tool. It runs on the engine goroutine.
+type TraceFunc func(slot int64, listener NodeID, globalCh int32, msg *Message)
+
+// Jammer reports primary-user occupancy per (slot, global channel).
+// A frame broadcast on an occupied channel is lost and a listener
+// tuned there hears only silence — secondary users cannot use spectrum
+// a primary user holds. Implementations must be deterministic and safe
+// for concurrent readers (RunParallel queries from worker goroutines).
+// internal/spectrum provides standard models.
+type Jammer interface {
+	Jammed(slot int64, ch int32) bool
+}
+
+// Network bundles the static instance a protocol runs on.
+type Network struct {
+	Graph  *graph.Graph
+	Assign *chanassign.Assignment
+	// Jammer optionally models primary users; nil means clear spectrum.
+	Jammer Jammer
+}
+
+// Validate checks the graph/assignment pair is consistent.
+func (nw *Network) Validate() error {
+	if nw.Graph == nil || nw.Assign == nil {
+		return fmt.Errorf("radio: network needs both graph and assignment")
+	}
+	if nw.Graph.N() != nw.Assign.N() {
+		return fmt.Errorf("radio: graph has %d nodes, assignment %d", nw.Graph.N(), nw.Assign.N())
+	}
+	return nil
+}
+
+// Engine steps a set of protocols over a network.
+// Engines are single-use: construct, Run, inspect stats.
+type Engine struct {
+	nw        *Network
+	protocols []Protocol
+	trace     TraceFunc
+
+	// scratch, reused across slots
+	actions  []Action
+	globalCh []int32 // resolved global channel per node, -1 when idle
+	done     []bool
+	nDone    int
+	slot     int64
+	stats    Stats
+}
+
+// NewEngine constructs an engine for the given network and per-node
+// protocols (len must equal the node count).
+func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	if len(protocols) != nw.Graph.N() {
+		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(protocols), nw.Graph.N())
+	}
+	n := nw.Graph.N()
+	return &Engine{
+		nw:        nw,
+		protocols: protocols,
+		actions:   make([]Action, n),
+		globalCh:  make([]int32, n),
+		done:      make([]bool, n),
+	}, nil
+}
+
+// SetTrace installs a delivery trace callback (nil to disable).
+// With RunParallel the callback may be invoked from multiple
+// goroutines concurrently; use Run for ordered traces.
+func (e *Engine) SetTrace(fn TraceFunc) { e.trace = fn }
+
+// Slot returns the number of slots executed so far.
+func (e *Engine) Slot() int64 { return e.slot }
+
+// Stats returns counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Run executes slots sequentially until every protocol reports Done or
+// maxSlots have elapsed. It can be called again to continue a run with
+// a larger budget.
+func (e *Engine) Run(maxSlots int64) Stats {
+	for e.slot < maxSlots && e.nDone < len(e.protocols) {
+		e.step(0, len(e.protocols))
+		e.slot++
+		e.stats.Slots = e.slot
+	}
+	e.stats.Completed = e.nDone == len(e.protocols)
+	return e.stats
+}
+
+// RunUntil executes slots sequentially like Run but additionally stops
+// as soon as stop returns true (checked after each slot). Harnesses use
+// it to measure time-to-goal for protocols whose own schedules are
+// fixed-length (e.g. "slots until every node knows all neighbors").
+func (e *Engine) RunUntil(maxSlots int64, stop func(slot int64) bool) Stats {
+	for e.slot < maxSlots && e.nDone < len(e.protocols) {
+		e.step(0, len(e.protocols))
+		e.slot++
+		e.stats.Slots = e.slot
+		if stop != nil && stop(e.slot) {
+			break
+		}
+	}
+	e.stats.Completed = e.nDone == len(e.protocols)
+	return e.stats
+}
+
+// RunParallel executes the same semantics as Run but fans the per-node
+// Act/Observe work out to `workers` goroutines (0 means GOMAXPROCS).
+// Results are identical to Run for the same protocols and seeds.
+func (e *Engine) RunParallel(maxSlots int64, workers int) Stats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(e.protocols)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return e.Run(maxSlots)
+	}
+	var wg sync.WaitGroup
+	for e.slot < maxSlots && e.nDone < n {
+		// Phase 1: collect actions in parallel.
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				e.collectActions(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		// Phase 2: resolve and observe in parallel. Resolution only
+		// reads actions/globalCh, so listeners can resolve concurrently;
+		// per-node counters are merged below.
+		sub := make([]Stats, workers)
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				e.resolveAndObserve(lo, hi, &sub[w])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for i := range sub {
+			e.stats.Broadcasts += sub[i].Broadcasts
+			e.stats.Listens += sub[i].Listens
+			e.stats.Idles += sub[i].Idles
+			e.stats.Deliveries += sub[i].Deliveries
+			e.stats.Collisions += sub[i].Collisions
+			e.stats.JammedListens += sub[i].JammedListens
+		}
+		// Phase 3: completion scan (cheap, sequential).
+		e.refreshDone()
+		e.slot++
+		e.stats.Slots = e.slot
+	}
+	e.stats.Completed = e.nDone == n
+	return e.stats
+}
+
+// step runs one full slot sequentially.
+func (e *Engine) step(lo, hi int) {
+	e.collectActions(lo, hi)
+	e.resolveAndObserve(lo, hi, &e.stats)
+	e.refreshDone()
+}
+
+func (e *Engine) collectActions(lo, hi int) {
+	for u := lo; u < hi; u++ {
+		if e.done[u] {
+			e.actions[u] = Action{Kind: Idle}
+			e.globalCh[u] = -1
+			continue
+		}
+		a := e.protocols[u].Act(e.slot)
+		e.actions[u] = a
+		if a.Kind == Idle {
+			e.globalCh[u] = -1
+			continue
+		}
+		e.globalCh[u] = e.nw.Assign.Global(u, a.Ch)
+	}
+}
+
+func (e *Engine) resolveAndObserve(lo, hi int, st *Stats) {
+	g := e.nw.Graph
+	for u := lo; u < hi; u++ {
+		if e.done[u] {
+			continue
+		}
+		switch e.actions[u].Kind {
+		case Idle:
+			st.Idles++
+			e.protocols[u].Observe(e.slot, nil)
+		case Broadcast:
+			st.Broadcasts++
+			e.protocols[u].Observe(e.slot, nil)
+		case Listen:
+			st.Listens++
+			ch := e.globalCh[u]
+			if e.nw.Jammer != nil && e.nw.Jammer.Jammed(e.slot, ch) {
+				st.JammedListens++
+				e.protocols[u].Observe(e.slot, nil)
+				continue
+			}
+			var heard *Message
+			talkers := 0
+			for _, v := range g.Neighbors(u) {
+				if e.actions[v].Kind == Broadcast && e.globalCh[v] == ch {
+					talkers++
+					if talkers > 1 {
+						break
+					}
+					heard = &Message{From: NodeID(v), Data: e.actions[v].Data}
+				}
+			}
+			switch {
+			case talkers == 1:
+				st.Deliveries++
+				if e.trace != nil {
+					e.trace(e.slot, NodeID(u), ch, heard)
+				}
+				e.protocols[u].Observe(e.slot, heard)
+			case talkers > 1:
+				st.Collisions++
+				e.protocols[u].Observe(e.slot, nil)
+			default:
+				e.protocols[u].Observe(e.slot, nil)
+			}
+		default:
+			panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", u, e.actions[u].Kind))
+		}
+	}
+}
+
+func (e *Engine) refreshDone() {
+	for u, p := range e.protocols {
+		if !e.done[u] && p.Done() {
+			e.done[u] = true
+			e.nDone++
+		}
+	}
+}

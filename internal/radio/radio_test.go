@@ -1,0 +1,555 @@
+package radio
+
+import (
+	"testing"
+
+	"crn/internal/chanassign"
+	"crn/internal/graph"
+	"crn/internal/rng"
+)
+
+// scriptProto replays a fixed list of actions and records everything it
+// observes.
+type scriptProto struct {
+	script []Action
+	pos    int
+	heard  []*Message
+}
+
+func (p *scriptProto) Act(_ int64) Action {
+	a := p.script[p.pos]
+	p.pos++
+	return a
+}
+
+func (p *scriptProto) Observe(_ int64, msg *Message) {
+	p.heard = append(p.heard, msg)
+}
+
+func (p *scriptProto) Done() bool { return p.pos >= len(p.script) }
+
+// newTestNetwork builds a network where all nodes share all channels
+// and local labels equal global labels (identity assignment is a
+// random permutation, so we find the local label explicitly).
+func newTestNetwork(t *testing.T, g *graph.Graph, c int, seed uint64) *Network {
+	t.Helper()
+	a, err := chanassign.Identical(g.N(), c, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Network{Graph: g, Assign: a}
+}
+
+// localFor returns node u's local label for global channel gch.
+func localFor(t *testing.T, nw *Network, u int, gch int32) int {
+	t.Helper()
+	l := nw.Assign.Local(u, gch)
+	if l < 0 {
+		t.Fatalf("node %d has no local label for global channel %d", u, gch)
+	}
+	return int(l)
+}
+
+func TestSingleBroadcasterDelivers(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 2, 1)
+	p0 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: localFor(t, nw, 0, 0), Data: "hello"}}}
+	p1 := &scriptProto{script: []Action{{Kind: Listen, Ch: localFor(t, nw, 1, 0)}}}
+	e, err := NewEngine(nw, []Protocol{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run(10)
+	if !st.Completed {
+		t.Fatal("run did not complete")
+	}
+	if st.Slots != 1 {
+		t.Errorf("Slots = %d, want 1", st.Slots)
+	}
+	if len(p1.heard) != 1 || p1.heard[0] == nil {
+		t.Fatalf("listener heard %v, want one message", p1.heard)
+	}
+	if p1.heard[0].From != 0 || p1.heard[0].Data != "hello" {
+		t.Errorf("heard %+v, want From=0 Data=hello", p1.heard[0])
+	}
+	if st.Deliveries != 1 || st.Collisions != 0 {
+		t.Errorf("stats %+v, want 1 delivery 0 collisions", st)
+	}
+}
+
+func TestCollisionSilence(t *testing.T) {
+	// Star: two leaves broadcast to the center on the same channel.
+	g := graph.Star(3)
+	nw := newTestNetwork(t, g, 2, 2)
+	center := &scriptProto{script: []Action{{Kind: Listen, Ch: localFor(t, nw, 0, 0)}}}
+	leaf1 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: localFor(t, nw, 1, 0), Data: 1}}}
+	leaf2 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: localFor(t, nw, 2, 0), Data: 2}}}
+	e, err := NewEngine(nw, []Protocol{center, leaf1, leaf2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run(10)
+	if len(center.heard) != 1 || center.heard[0] != nil {
+		t.Fatalf("center heard %v, want one nil observation (collision)", center.heard)
+	}
+	if st.Collisions != 1 || st.Deliveries != 0 {
+		t.Errorf("stats %+v, want 1 collision 0 deliveries", st)
+	}
+}
+
+func TestDifferentChannelsNoInterference(t *testing.T) {
+	// Two leaves broadcast on different channels; center listens on
+	// leaf2's channel and hears it cleanly.
+	g := graph.Star(3)
+	nw := newTestNetwork(t, g, 2, 3)
+	center := &scriptProto{script: []Action{{Kind: Listen, Ch: localFor(t, nw, 0, 1)}}}
+	leaf1 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: localFor(t, nw, 1, 0), Data: 1}}}
+	leaf2 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: localFor(t, nw, 2, 1), Data: 2}}}
+	e, err := NewEngine(nw, []Protocol{center, leaf1, leaf2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10)
+	if len(center.heard) != 1 || center.heard[0] == nil {
+		t.Fatalf("center heard %v, want one message", center.heard)
+	}
+	if center.heard[0].Data != 2 {
+		t.Errorf("heard %v, want leaf2's message", center.heard[0])
+	}
+}
+
+func TestNonNeighborsDoNotInterfere(t *testing.T) {
+	// Path 0-1-2-3: nodes 0 and 3 broadcast on channel 0; nodes 1 and 2
+	// listen on channel 0. Each listener has exactly one broadcasting
+	// neighbor (0 and 3 are not adjacent to both), so both hear.
+	g := graph.Path(4)
+	nw := newTestNetwork(t, g, 1, 4)
+	p0 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: 0, Data: "a"}}}
+	p1 := &scriptProto{script: []Action{{Kind: Listen, Ch: 0}}}
+	p2 := &scriptProto{script: []Action{{Kind: Listen, Ch: 0}}}
+	p3 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: 0, Data: "b"}}}
+	e, err := NewEngine(nw, []Protocol{p0, p1, p2, p3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10)
+	if p1.heard[0] == nil || p1.heard[0].Data != "a" {
+		t.Errorf("node 1 heard %v, want a", p1.heard[0])
+	}
+	if p2.heard[0] == nil || p2.heard[0].Data != "b" {
+		t.Errorf("node 2 heard %v, want b", p2.heard[0])
+	}
+}
+
+func TestBroadcasterHearsNothing(t *testing.T) {
+	// Two adjacent broadcasters on one channel: broadcasters only
+	// "receive" their own message; Observe reports nil.
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 5)
+	p0 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: 0, Data: 0}}}
+	p1 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: 0, Data: 1}}}
+	e, err := NewEngine(nw, []Protocol{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10)
+	if p0.heard[0] != nil || p1.heard[0] != nil {
+		t.Error("broadcasters observed a message")
+	}
+}
+
+func TestIdleObservesNil(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 6)
+	p0 := &scriptProto{script: []Action{{Kind: Idle}}}
+	p1 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: 0, Data: 9}}}
+	e, err := NewEngine(nw, []Protocol{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run(10)
+	if p0.heard[0] != nil {
+		t.Error("idle node observed a message")
+	}
+	if st.Idles != 1 {
+		t.Errorf("Idles = %d, want 1", st.Idles)
+	}
+}
+
+func TestMaxSlotsBudget(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 7)
+	// Protocols that never finish.
+	mk := func() *scriptProto {
+		s := make([]Action, 1000)
+		for i := range s {
+			s[i] = Action{Kind: Idle}
+		}
+		return &scriptProto{script: s}
+	}
+	e, err := NewEngine(nw, []Protocol{mk(), mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run(5)
+	if st.Completed {
+		t.Error("Completed = true with exhausted budget")
+	}
+	if st.Slots != 5 {
+		t.Errorf("Slots = %d, want 5", st.Slots)
+	}
+	// Continue the same engine with a larger budget.
+	st = e.Run(1000)
+	if !st.Completed {
+		t.Error("run did not complete after budget increase")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 8)
+	if _, err := NewEngine(nw, []Protocol{&scriptProto{}}); err == nil {
+		t.Error("protocol-count mismatch accepted")
+	}
+	if _, err := NewEngine(&Network{}, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	bad, _ := chanassign.Identical(3, 1, rng.New(1))
+	if _, err := NewEngine(&Network{Graph: g, Assign: bad}, nil); err == nil {
+		t.Error("assignment size mismatch accepted")
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 9)
+	p0 := &scriptProto{script: []Action{{Kind: Broadcast, Ch: 0, Data: "x"}}}
+	p1 := &scriptProto{script: []Action{{Kind: Listen, Ch: 0}}}
+	e, err := NewEngine(nw, []Protocol{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []NodeID
+	e.SetTrace(func(slot int64, listener NodeID, ch int32, msg *Message) {
+		got = append(got, listener)
+		if msg.From != 0 {
+			t.Errorf("trace msg.From = %d, want 0", msg.From)
+		}
+	})
+	e.Run(10)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("trace listeners = %v, want [1]", got)
+	}
+}
+
+// randomProto takes uniformly random actions; used for engine
+// equivalence testing.
+type randomProto struct {
+	r     *rng.Source
+	c     int
+	slots int
+	heard []NodeID // only From ids, comparable across engines
+}
+
+func (p *randomProto) Act(_ int64) Action {
+	p.slots--
+	switch p.r.Intn(3) {
+	case 0:
+		return Action{Kind: Idle}
+	case 1:
+		return Action{Kind: Listen, Ch: p.r.Intn(p.c)}
+	default:
+		return Action{Kind: Broadcast, Ch: p.r.Intn(p.c), Data: p.r.Intn(100)}
+	}
+}
+
+func (p *randomProto) Observe(_ int64, msg *Message) {
+	if msg != nil {
+		p.heard = append(p.heard, msg.From)
+	}
+}
+
+func (p *randomProto) Done() bool { return p.slots <= 0 }
+
+func runRandom(t *testing.T, parallel bool, workers int) ([][]NodeID, Stats) {
+	t.Helper()
+	master := rng.New(42)
+	g, err := graph.GNP(20, 0.3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := chanassign.SharedPool(20, 5, 2, 12, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := &Network{Graph: g, Assign: a}
+	protos := make([]Protocol, 20)
+	rps := make([]*randomProto, 20)
+	for i := range protos {
+		rp := &randomProto{r: master.Split(uint64(i)), c: 5, slots: 200}
+		rps[i] = rp
+		protos[i] = rp
+	}
+	e, err := NewEngine(nw, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if parallel {
+		st = e.RunParallel(10000, workers)
+	} else {
+		st = e.Run(10000)
+	}
+	out := make([][]NodeID, 20)
+	for i, rp := range rps {
+		out[i] = rp.heard
+	}
+	return out, st
+}
+
+func TestSequentialDeterminism(t *testing.T) {
+	h1, s1 := runRandom(t, false, 0)
+	h2, s2 := runRandom(t, false, 0)
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", s1, s2)
+	}
+	for i := range h1 {
+		if len(h1[i]) != len(h2[i]) {
+			t.Fatalf("node %d heard %d vs %d messages", i, len(h1[i]), len(h2[i]))
+		}
+		for j := range h1[i] {
+			if h1[i][j] != h2[i][j] {
+				t.Fatalf("node %d observation %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	hs, ss := runRandom(t, false, 0)
+	for _, workers := range []int{2, 4, 0} {
+		hp, sp := runRandom(t, true, workers)
+		if ss != sp {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, ss, sp)
+		}
+		for i := range hs {
+			if len(hs[i]) != len(hp[i]) {
+				t.Fatalf("workers=%d node %d heard %d vs %d", workers, i, len(hs[i]), len(hp[i]))
+			}
+			for j := range hs[i] {
+				if hs[i][j] != hp[i][j] {
+					t.Fatalf("workers=%d node %d observation %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGoProtocolPingPong(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 10)
+	var got []string
+	sender := NewGoProtocol(func(tr *Transceiver) {
+		tr.BroadcastOn(0, "ping")
+		if msg := tr.ListenOn(0); msg != nil {
+			got = append(got, msg.Data.(string))
+		}
+	})
+	receiver := NewGoProtocol(func(tr *Transceiver) {
+		if msg := tr.ListenOn(0); msg != nil {
+			got = append(got, msg.Data.(string))
+		}
+		tr.BroadcastOn(0, "pong")
+	})
+	e, err := NewEngine(nw, []Protocol{sender, receiver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Run(100)
+	if !st.Completed {
+		t.Fatal("goroutine protocols did not complete")
+	}
+	if st.Slots != 2 {
+		t.Errorf("Slots = %d, want 2", st.Slots)
+	}
+	if len(got) != 2 || got[0] != "ping" || got[1] != "pong" {
+		t.Errorf("exchanged %v, want [ping pong]", got)
+	}
+}
+
+func TestGoProtocolLastSlot(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 11)
+	var slots []int64
+	p0 := NewGoProtocol(func(tr *Transceiver) {
+		tr.IdleSlot()
+		slots = append(slots, tr.LastSlot())
+		tr.IdleSlot()
+		slots = append(slots, tr.LastSlot())
+	})
+	p1 := NewGoProtocol(func(tr *Transceiver) {
+		tr.IdleSlot()
+	})
+	e, err := NewEngine(nw, []Protocol{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Run(10).Completed {
+		t.Fatal("did not complete")
+	}
+	if len(slots) != 2 || slots[0] != 0 || slots[1] != 1 {
+		t.Errorf("slots = %v, want [0 1]", slots)
+	}
+}
+
+// TestGoProtocolMatchesStateMachine runs the same randomized logic as
+// both a state machine and a goroutine program and requires identical
+// observations.
+func TestGoProtocolMatchesStateMachine(t *testing.T) {
+	build := func(asGo bool) ([][]NodeID, Stats) {
+		master := rng.New(99)
+		g := graph.Star(6)
+		a, err := chanassign.Identical(6, 3, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := &Network{Graph: g, Assign: a}
+		heard := make([][]NodeID, 6)
+		protos := make([]Protocol, 6)
+		for i := 0; i < 6; i++ {
+			i := i
+			r := master.Split(uint64(i))
+			if asGo {
+				protos[i] = NewGoProtocol(func(tr *Transceiver) {
+					for s := 0; s < 50; s++ {
+						var msg *Message
+						switch r.Intn(3) {
+						case 0:
+							tr.IdleSlot()
+						case 1:
+							msg = tr.ListenOn(r.Intn(3))
+						default:
+							tr.BroadcastOn(r.Intn(3), i)
+						}
+						if msg != nil {
+							heard[i] = append(heard[i], msg.From)
+						}
+					}
+				})
+			} else {
+				protos[i] = &rngDriven{r: r, c: 3, remaining: 50, sink: &heard[i]}
+			}
+		}
+		e, err := NewEngine(nw, protos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := e.Run(1000)
+		return heard, st
+	}
+	hSM, stSM := build(false)
+	hGo, stGo := build(true)
+	if stSM.Deliveries != stGo.Deliveries || stSM.Collisions != stGo.Collisions || stSM.Slots != stGo.Slots {
+		t.Fatalf("stats differ: %+v vs %+v", stSM, stGo)
+	}
+	for i := range hSM {
+		if len(hSM[i]) != len(hGo[i]) {
+			t.Fatalf("node %d heard %d vs %d", i, len(hSM[i]), len(hGo[i]))
+		}
+		for j := range hSM[i] {
+			if hSM[i][j] != hGo[i][j] {
+				t.Fatalf("node %d observation %d differs", i, j)
+			}
+		}
+	}
+}
+
+// rngDriven mirrors the goroutine body in TestGoProtocolMatchesStateMachine.
+type rngDriven struct {
+	r         *rng.Source
+	c         int
+	remaining int
+	sink      *[]NodeID
+}
+
+func (p *rngDriven) Act(_ int64) Action {
+	p.remaining--
+	switch p.r.Intn(3) {
+	case 0:
+		return Action{Kind: Idle}
+	case 1:
+		return Action{Kind: Listen, Ch: p.r.Intn(p.c)}
+	default:
+		return Action{Kind: Broadcast, Ch: p.r.Intn(p.c), Data: 0}
+	}
+}
+
+func (p *rngDriven) Observe(_ int64, msg *Message) {
+	if msg != nil {
+		*p.sink = append(*p.sink, msg.From)
+	}
+}
+
+func (p *rngDriven) Done() bool { return p.remaining <= 0 }
+
+func TestInvalidActionKindPanics(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 99)
+	bad := &scriptProto{script: []Action{{Kind: Kind(99), Ch: 0}}}
+	idle := &scriptProto{script: []Action{{Kind: Idle}}}
+	e, err := NewEngine(nw, []Protocol{bad, idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid action kind did not panic")
+		}
+	}()
+	e.Run(1)
+}
+
+func TestEngineAccessors(t *testing.T) {
+	g := graph.Path(2)
+	nw := newTestNetwork(t, g, 1, 98)
+	p0 := &scriptProto{script: []Action{{Kind: Idle}, {Kind: Idle}}}
+	p1 := &scriptProto{script: []Action{{Kind: Idle}, {Kind: Idle}}}
+	e, err := NewEngine(nw, []Protocol{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Slot() != 0 {
+		t.Errorf("Slot() = %d before running", e.Slot())
+	}
+	e.Run(1)
+	if e.Slot() != 1 {
+		t.Errorf("Slot() = %d after one slot", e.Slot())
+	}
+	if got := e.Stats(); got.Idles != 2 {
+		t.Errorf("Stats().Idles = %d, want 2", got.Idles)
+	}
+}
+
+func BenchmarkEngineSlot(b *testing.B) {
+	master := rng.New(1)
+	g, err := graph.GNP(64, 0.15, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := chanassign.SharedPool(64, 8, 2, 30, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := &Network{Graph: g, Assign: a}
+	protos := make([]Protocol, 64)
+	for i := range protos {
+		protos[i] = &randomProto{r: master.Split(uint64(i)), c: 8, slots: 1 << 30}
+	}
+	e, err := NewEngine(nw, protos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(int64(b.N))
+}

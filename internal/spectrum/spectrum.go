@@ -1,0 +1,155 @@
+// Package spectrum models primary-user activity — the licensed
+// transmitters whose presence is the reason cognitive radio networks
+// exist (Section 1: secondary users exploit idle spectrum in licensed
+// bands and must vacate when primary users appear).
+//
+// A Jammer answers, per (slot, global channel), whether a primary user
+// occupies the channel. The radio engine treats occupied channels as
+// unusable: frames broadcast there are lost and listeners hear only
+// silence, matching the "protect the primary user, sense before use"
+// regime of IEEE 802.22-style whitespace systems.
+package spectrum
+
+import (
+	"fmt"
+
+	"crn/internal/bitset"
+	"crn/internal/rng"
+)
+
+// Jammer reports primary-user occupancy. Implementations must be
+// deterministic functions of (slot, channel) so simulation runs stay
+// reproducible, and safe for concurrent readers.
+type Jammer interface {
+	// Jammed reports whether the given global channel is occupied by a
+	// primary user in the given slot.
+	Jammed(slot int64, ch int32) bool
+}
+
+// None is the zero Jammer: no primary users.
+type None struct{}
+
+// Jammed implements Jammer.
+func (None) Jammed(int64, int32) bool { return false }
+
+// Periodic models duty-cycled primary users: channel ch is occupied
+// during the first OnSlots of every Period, shifted per channel so the
+// network never loses all channels at once.
+type Periodic struct {
+	// Period is the cycle length in slots (> 0).
+	Period int64
+	// OnSlots is how many slots per cycle the primary user occupies
+	// (0 ≤ OnSlots ≤ Period).
+	OnSlots int64
+	// ChannelStride staggers the phase by ChannelStride·ch slots.
+	ChannelStride int64
+	// Channels restricts jamming to the given global channels
+	// (nil means every channel has a primary user).
+	Channels []int32
+
+	channelSet map[int32]bool
+}
+
+// NewPeriodic validates and returns a periodic jammer.
+func NewPeriodic(period, onSlots, stride int64, channels []int32) (*Periodic, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("spectrum: period must be > 0, got %d", period)
+	}
+	if onSlots < 0 || onSlots > period {
+		return nil, fmt.Errorf("spectrum: onSlots must be in [0,%d], got %d", period, onSlots)
+	}
+	p := &Periodic{Period: period, OnSlots: onSlots, ChannelStride: stride, Channels: channels}
+	if channels != nil {
+		p.channelSet = make(map[int32]bool, len(channels))
+		for _, ch := range channels {
+			p.channelSet[ch] = true
+		}
+	}
+	return p, nil
+}
+
+// Jammed implements Jammer.
+func (p *Periodic) Jammed(slot int64, ch int32) bool {
+	if p.channelSet != nil && !p.channelSet[ch] {
+		return false
+	}
+	phase := (slot + p.ChannelStride*int64(ch)) % p.Period
+	if phase < 0 {
+		phase += p.Period
+	}
+	return phase < p.OnSlots
+}
+
+// Markov models bursty primary users: each channel flips between idle
+// and occupied with per-slot transition probabilities, precomputed
+// deterministically over a horizon.
+type Markov struct {
+	horizon int64
+	sched   []*bitset.Set // per channel, bit s = occupied in slot s... bits indexed by slot
+}
+
+// NewMarkov precomputes a Markov on/off occupancy schedule for the
+// given number of global channels over horizon slots. pBusy is the
+// idle→occupied probability per slot, pFree the occupied→idle
+// probability. Beyond the horizon channels are reported idle.
+func NewMarkov(channels int, horizon int64, pBusy, pFree float64, seed uint64) (*Markov, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("spectrum: need at least one channel, got %d", channels)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("spectrum: horizon must be >= 1, got %d", horizon)
+	}
+	if pBusy < 0 || pBusy > 1 || pFree < 0 || pFree > 1 {
+		return nil, fmt.Errorf("spectrum: probabilities must be in [0,1], got %v and %v", pBusy, pFree)
+	}
+	if horizon > 1<<26 {
+		return nil, fmt.Errorf("spectrum: horizon %d too large to precompute", horizon)
+	}
+	master := rng.New(seed)
+	m := &Markov{horizon: horizon, sched: make([]*bitset.Set, channels)}
+	for ch := 0; ch < channels; ch++ {
+		r := master.Split(uint64(ch))
+		s := bitset.New(int(horizon))
+		busy := false
+		for slot := int64(0); slot < horizon; slot++ {
+			if busy {
+				if r.Bernoulli(pFree) {
+					busy = false
+				}
+			} else if r.Bernoulli(pBusy) {
+				busy = true
+			}
+			if busy {
+				s.Add(int(slot))
+			}
+		}
+		m.sched[ch] = s
+	}
+	return m, nil
+}
+
+// Jammed implements Jammer.
+func (m *Markov) Jammed(slot int64, ch int32) bool {
+	if slot < 0 || slot >= m.horizon || int(ch) < 0 || int(ch) >= len(m.sched) {
+		return false
+	}
+	return m.sched[ch].Contains(int(slot))
+}
+
+// OccupancyFraction returns the fraction of (slot, channel) pairs the
+// jammer occupies over the given window — a workload descriptor for
+// experiment tables.
+func OccupancyFraction(j Jammer, channels int, window int64) float64 {
+	if channels < 1 || window < 1 {
+		return 0
+	}
+	occupied := int64(0)
+	for ch := 0; ch < channels; ch++ {
+		for s := int64(0); s < window; s++ {
+			if j.Jammed(s, int32(ch)) {
+				occupied++
+			}
+		}
+	}
+	return float64(occupied) / float64(int64(channels)*window)
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if !almostEqual(s.Median, 3, 1e-12) {
+		t.Errorf("Median = %v, want 3", s.Median)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min,Max = %v,%v want 1,5", s.Min, s.Max)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if !almostEqual(s.StdDev, want, 1e-9) {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int64{10, 20, 30})
+	if !almostEqual(s.Mean, 20, 1e-12) {
+		t.Errorf("Mean = %v, want 20", s.Mean)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {-0.5, 10}, {1.5, 40},
+		{1.0 / 3, 20},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-9) || !almostEqual(fit.Intercept, 3, 1e-9) {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLogLogSlopeQuadratic(t *testing.T) {
+	var xs, ys []float64
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 7*x*x)
+	}
+	fit, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-9) {
+		t.Errorf("slope = %v, want 2", fit.Slope)
+	}
+}
+
+func TestLogLogSlopeRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogSlope([]float64{1, 0}, []float64{1, 2}); err == nil {
+		t.Error("zero x accepted")
+	}
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{1, -2}); err == nil {
+		t.Error("negative y accepted")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	gm, err := GeometricMean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gm, 10, 1e-9) {
+		t.Errorf("GeometricMean = %v, want 10", gm)
+	}
+	if _, err := GeometricMean(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := GeometricMean([]float64{1, -1}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+// TestQuickSummaryInvariants: min ≤ p25 ≤ median ≤ p75 ≤ max and the
+// mean lies within [min, max].
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 && s.P75 <= s.Max
+		meanOK := s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+		return ordered && meanOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLinearFitRecovers: fits on exactly linear data recover the
+// line within numerical tolerance.
+func TestQuickLinearFitRecovers(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		xs := []float64{0, 1, 2, 3, 4}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Slope, a, 1e-6) && almostEqual(fit.Intercept, b, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
