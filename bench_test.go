@@ -1,15 +1,19 @@
-package crn
+package crn_test
 
-// One benchmark per reproduction experiment (DESIGN.md's E1–E12).
-// Each iteration regenerates the experiment's table at Quick scale, so
-// `go test -bench=.` exercises the same code paths cmd/crnbench uses
-// for EXPERIMENTS.md, with per-iteration costs comparable across
+// One benchmark per reproduction experiment (DESIGN.md's experiment
+// index). Each iteration regenerates the experiment's table at Quick
+// scale, so `go test -bench=.` exercises the same code paths
+// cmd/crnbench uses, with per-iteration costs comparable across
 // changes. Micro-benchmarks for the hot paths live in the internal
-// packages (bitset, rng, graph, radio).
+// packages (bitset, rng, graph, radio); BenchmarkSweep is the
+// concurrency baseline for the sweep engine's worker pool.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"crn"
 	"crn/internal/experiments"
 )
 
@@ -80,33 +84,70 @@ func BenchmarkE15AsyncStart(b *testing.B) { benchExperiment(b, "E15") }
 func BenchmarkE16Amortization(b *testing.B) { benchExperiment(b, "E16") }
 
 // BenchmarkDiscoverCSeek measures an end-to-end CSEEK discovery run
-// through the public API.
+// through the public Primitive API.
 func BenchmarkDiscoverCSeek(b *testing.B) {
-	s, err := NewScenario(ScenarioConfig{Topology: GNP, N: 16, C: 5, K: 2, Seed: 7})
+	s, err := crn.New(crn.WithTopology(crn.GNP), crn.WithNodes(16), crn.WithChannels(5, 2, 0), crn.WithSeed(7))
 	if err != nil {
 		b.Fatal(err)
 	}
+	prim := crn.Discovery(crn.CSeek)
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Discover(CSeek, uint64(i)); err != nil {
+		if _, err := prim.Run(ctx, s, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkBroadcastCGCast measures an end-to-end CGCAST broadcast
-// (abstract exchange mode) through the public API.
+// (abstract exchange mode) through the public Primitive API.
 func BenchmarkBroadcastCGCast(b *testing.B) {
-	s, err := NewScenario(ScenarioConfig{Topology: Chain, N: 16, C: 4, K: 2, Seed: 7})
+	s, err := crn.New(crn.WithTopology(crn.Chain), crn.WithNodes(16), crn.WithChannels(4, 2, 0), crn.WithSeed(7))
 	if err != nil {
 		b.Fatal(err)
 	}
+	prim := crn.GlobalBroadcast(0, "m")
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Broadcast(0, "m", uint64(i)); err != nil {
+		if _, err := prim.Run(ctx, s, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweep exercises the sweep engine's worker pool at fixed
+// work (32 CSEEK discovery runs) and 1/2/4/8 workers — the concurrency
+// baseline future performance PRs measure against.
+func BenchmarkSweep(b *testing.B) {
+	s, err := crn.New(crn.WithTopology(crn.GNP), crn.WithNodes(16), crn.WithChannels(5, 2, 0), crn.WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := crn.SweepSpec{
+				Primitive: crn.Discovery(crn.CSeek),
+				Variants:  []crn.Variant{{Name: "gnp16", Scenario: s}},
+				Seeds:     32,
+				BaseSeed:  11,
+				Workers:   workers,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := crn.Sweep(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Aggregates[0].Failures != 0 {
+					b.Fatalf("%d failures", res.Aggregates[0].Failures)
+				}
+			}
+		})
 	}
 }

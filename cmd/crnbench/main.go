@@ -1,5 +1,5 @@
 // Command crnbench regenerates the paper-reproduction experiments
-// (E1–E12, see DESIGN.md) and prints their tables.
+// (E1–E16, see DESIGN.md's experiment index) and prints their tables.
 //
 // Usage:
 //

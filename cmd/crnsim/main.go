@@ -1,19 +1,26 @@
 // Command crnsim runs one cognitive-radio scenario from flags and
-// prints a JSON or text summary.
+// prints a JSON or text summary. Every algorithm goes through the
+// shared crn.Primitive interface, so the output shape is the same
+// Result envelope regardless of -algo; with -seeds > 1 the runs fan
+// out over the crn.Sweep worker pool and the aggregate is printed
+// instead.
 //
 // Examples:
 //
 //	crnsim -topology gnp -n 24 -c 8 -k 2 -algo cseek
 //	crnsim -topology star -n 17 -c 2 -k 1 -algo naive -json
 //	crnsim -topology chain -n 16 -c 4 -k 2 -algo cgcast
+//	crnsim -topology chain -n 16 -c 4 -k 2 -algo cgcast -seeds 16 -workers 4
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"crn"
 )
@@ -37,56 +44,73 @@ func run(args []string, w io.Writer) error {
 		algo     = fs.String("algo", "cseek", "algorithm: cseek, ckseek, naive, uniform, cgcast, flood")
 		khat     = fs.Int("khat", 0, "k̂ threshold for ckseek (0: kmax)")
 		seed     = fs.Uint64("seed", 1, "random seed")
+		seeds    = fs.Int("seeds", 1, "number of runs; > 1 sweeps and prints the aggregate")
+		workers  = fs.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
 		asJSON   = fs.Bool("json", false, "print JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	scn, err := crn.NewScenario(crn.ScenarioConfig{
-		Topology: crn.Topology(*topology),
-		N:        *n,
-		C:        *c,
-		K:        *k,
-		KMax:     *kmax,
-		Seed:     *seed,
-	})
+	scn, err := crn.New(
+		crn.WithTopology(crn.Topology(*topology)),
+		crn.WithNodes(*n),
+		crn.WithChannels(*c, *k, *kmax),
+		crn.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}
 
-	var out any
+	var prim crn.Primitive
 	switch *algo {
-	case "cseek", "naive", "uniform":
-		res, err := scn.Discover(crn.Algorithm(*algo), *seed+1)
-		if err != nil {
-			return err
-		}
-		out = res
+	case "cseek", "naive", "uniform", "":
+		prim = crn.Discovery(crn.Algorithm(*algo))
 	case "ckseek":
 		kh := *khat
 		if kh == 0 {
 			kh = scn.KMax()
 		}
-		res, err := scn.DiscoverK(kh, *seed+1)
-		if err != nil {
-			return err
-		}
-		out = res
+		prim = crn.KDiscovery(kh)
 	case "cgcast":
-		res, err := scn.Broadcast(0, "message", *seed+1)
-		if err != nil {
-			return err
-		}
-		out = res
+		prim = crn.GlobalBroadcast(0, "message")
 	case "flood":
-		res, err := scn.Flood(0, "message", *seed+1)
-		if err != nil {
-			return err
-		}
-		out = res
+		prim = crn.Flooding(0, "message")
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	ctx := context.Background()
+	var out any
+	if *seeds > 1 {
+		res, err := crn.Sweep(ctx, crn.SweepSpec{
+			Primitive: prim,
+			Variants:  []crn.Variant{{Name: scn.String(), Scenario: scn}},
+			Seeds:     *seeds,
+			BaseSeed:  *seed + 1,
+			Workers:   *workers,
+		})
+		if err != nil {
+			return err
+		}
+		agg := res.Aggregates[0]
+		if agg.Failures > 0 {
+			first := ""
+			for _, r := range res.Runs {
+				if r.Err != "" {
+					first = r.Err
+					break
+				}
+			}
+			return fmt.Errorf("%d/%d runs failed: %s", agg.Failures, agg.Runs, first)
+		}
+		out = agg
+	} else {
+		res, err := prim.Run(ctx, scn, *seed+1)
+		if err != nil {
+			return err
+		}
+		out = res
 	}
 
 	if *asJSON {
@@ -94,7 +118,28 @@ func run(args []string, w io.Writer) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
-	fmt.Fprintf(w, "scenario: %s\n", scn)
-	fmt.Fprintf(w, "result:   %+v\n", out)
+	fmt.Fprintf(w, "scenario:  %s\n", scn)
+	fmt.Fprintf(w, "primitive: %s\n", prim.Name())
+	switch v := out.(type) {
+	case *crn.Result:
+		fmt.Fprintf(w, "result:    scheduleSlots=%d completedAtSlot=%d completed=%v\n",
+			v.ScheduleSlots, v.CompletedAtSlot, v.Completed)
+		if v.Discovery != nil {
+			fmt.Fprintf(w, "detail:    %+v\n", *v.Discovery)
+		}
+		if v.Broadcast != nil {
+			fmt.Fprintf(w, "detail:    %+v\n", *v.Broadcast)
+		}
+	case crn.Aggregate:
+		fmt.Fprintf(w, "runs:      %d (%d completed)\n", v.Runs, v.Completed)
+		names := make([]string, 0, len(v.Metrics))
+		for name := range v.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "  %-20s %s\n", name, v.Metrics[name])
+		}
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -42,5 +43,33 @@ func TestRunDiscoveryScenarios(t *testing.T) {
 		if err := run(args, io.Discard); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+// TestRunSweep exercises the -seeds fan-out: the CLI must print the
+// sweep aggregate instead of a single Result, and two worker counts
+// must produce the identical report (the sweep determinism contract).
+func TestRunSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	outputs := make([]string, 0, 2)
+	for _, workers := range []string{"1", "4"} {
+		var sb strings.Builder
+		args := []string{"-topology", "path", "-n", "6", "-c", "3", "-k", "2",
+			"-algo", "cseek", "-seeds", "4", "-workers", workers}
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		outputs = append(outputs, sb.String())
+	}
+	if !strings.Contains(outputs[0], "runs:      4") {
+		t.Errorf("sweep output missing run count:\n%s", outputs[0])
+	}
+	if !strings.Contains(outputs[0], "timeToComplete") {
+		t.Errorf("sweep output missing metrics:\n%s", outputs[0])
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("worker counts disagree:\n%s\nvs\n%s", outputs[0], outputs[1])
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,35 +19,35 @@ import (
 func main() {
 	// Heterogeneous overlaps: some neighbor pairs share 2 channels,
 	// some share 6.
-	scenario, err := crn.NewScenario(crn.ScenarioConfig{
-		Topology: crn.GNP,
-		N:        16,
-		C:        10,
-		K:        2,
-		KMax:     6,
-		Seed:     17,
-	})
+	scenario, err := crn.New(
+		crn.WithTopology(crn.GNP),
+		crn.WithNodes(16),
+		crn.WithChannels(10, 2, 6),
+		crn.WithSeed(17),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("scenario:", scenario)
 
+	ctx := context.Background()
+
 	// Full discovery first, for reference.
-	full, err := scenario.Discover(crn.CSeek, 23)
+	full, err := crn.Discovery(crn.CSeek).Run(ctx, scenario, 23)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("CSEEK  (all neighbors):  schedule %8d slots, %3d/%3d pairs\n",
-		full.ScheduleSlots, full.PairsDiscovered, full.PairsTotal)
+		full.ScheduleSlots, full.Discovery.PairsDiscovered, full.Discovery.PairsTotal)
 
 	// Now filter: only neighbors sharing at least k̂ channels.
 	for _, khat := range []int{4, 6} {
-		res, err := scenario.DiscoverK(khat, 29)
+		res, err := crn.KDiscovery(khat).Run(ctx, scenario, 29)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("CKSEEK (k̂ = %d):          schedule %8d slots, %3d/%3d good pairs\n",
-			khat, res.ScheduleSlots, res.PairsDiscovered, res.PairsTotal)
+			khat, res.ScheduleSlots, res.Discovery.PairsDiscovered, res.Discovery.PairsTotal)
 	}
 	fmt.Println("\nthe schedule column shrinks as k̂ grows — Theorem 6's promise")
 }

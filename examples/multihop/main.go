@@ -5,12 +5,14 @@
 // fixing, edge coloring) and then disseminates any number of messages
 // on a deterministic schedule costing O~(D·Δ) each; flooding pays a
 // fresh O~(c²/k) rendezvous for every hop of every message. The
-// BroadcastSession API makes the reuse explicit.
+// BroadcastSession API makes the reuse explicit; the one-shot path is
+// the GlobalBroadcast primitive.
 //
 //	go run ./examples/multihop
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,13 +20,12 @@ import (
 )
 
 func main() {
-	scenario, err := crn.NewScenario(crn.ScenarioConfig{
-		Topology: crn.Chain, // clusters of 4 bridged in a line
-		N:        32,
-		C:        16,
-		K:        1,
-		Seed:     3,
-	})
+	scenario, err := crn.New(
+		crn.WithTopology(crn.Chain), // clusters of 4 bridged in a line
+		crn.WithNodes(32),
+		crn.WithChannels(16, 1, 0),
+		crn.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,16 +52,16 @@ func main() {
 			source, res.AllInformedAtSlot, res.ScheduleSlots)
 	}
 
-	fl, err := scenario.Flood(0, "msg", 13)
+	fl, err := crn.Flooding(0, "msg").Run(context.Background(), scenario, 13)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nflooding baseline: %d slots — and every message pays it again\n",
-		fl.AllInformedAtSlot)
+		fl.CompletedAtSlot)
 
-	if fl.AllInformedAtSlot > perMsg {
-		breakEven := session.SetupSlots()/(fl.AllInformedAtSlot-perMsg) + 1
+	if fl.CompletedAtSlot > perMsg {
+		breakEven := session.SetupSlots()/(fl.CompletedAtSlot-perMsg) + 1
 		fmt.Printf("CGCAST's schedule is %.1fx faster per message; setup amortizes after ~%d messages\n",
-			float64(fl.AllInformedAtSlot)/float64(perMsg), breakEven)
+			float64(fl.CompletedAtSlot)/float64(perMsg), breakEven)
 	}
 }

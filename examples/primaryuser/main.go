@@ -4,10 +4,15 @@
 // shorter than a CSEEK step are absorbed by the protocol's internal
 // redundancy.
 //
+// Each spectrum regime is its own immutable scenario, built from the
+// same generation seed plus a primary-user option — the shape a
+// crn.Sweep over spectrum models takes.
+//
 //	go run ./examples/primaryuser
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,48 +20,40 @@ import (
 )
 
 func main() {
-	scenario, err := crn.NewScenario(crn.ScenarioConfig{
-		Topology: crn.GNP,
-		N:        14,
-		C:        5,
-		K:        2,
-		Seed:     8,
-	})
-	if err != nil {
-		log.Fatal(err)
+	base := []crn.ScenarioOption{
+		crn.WithTopology(crn.GNP),
+		crn.WithNodes(14),
+		crn.WithChannels(5, 2, 0),
+		crn.WithSeed(8),
 	}
-	fmt.Println("scenario:", scenario)
+	regimes := []struct {
+		name string
+		opts []crn.ScenarioOption
+	}{
+		{name: "clear spectrum", opts: nil},
+		// Duty-cycled primary users: every channel occupied 40% of the
+		// time in 40-slot cycles (fast bursts).
+		{name: "40% fast bursts", opts: []crn.ScenarioOption{crn.WithPeriodicPrimaryUsers(40, 16)}},
+		// Bursty Markov primary users (occupancy ≈ 1/6).
+		{name: "Markov bursts", opts: []crn.ScenarioOption{crn.WithMarkovPrimaryUsers(0.01, 0.05, 0, 77)}},
+	}
 
-	// Clear spectrum first.
-	clear, err := scenario.Discover(crn.CSeek, 40)
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	for i, regime := range regimes {
+		scenario, err := crn.New(append(append([]crn.ScenarioOption{}, base...), regime.opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println("scenario:", scenario)
+		}
+		res, err := crn.Discovery(crn.CSeek).Run(ctx, scenario, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %3d/%3d pairs, complete at slot %d\n", regime.name+":",
+			res.Discovery.PairsDiscovered, res.Discovery.PairsTotal, res.CompletedAtSlot)
 	}
-	fmt.Printf("clear spectrum:   %3d/%3d pairs, complete at slot %d\n",
-		clear.PairsDiscovered, clear.PairsTotal, clear.CompletedAtSlot)
-
-	// Duty-cycled primary users: every channel occupied 40% of the
-	// time in 40-slot cycles (fast bursts).
-	if err := scenario.SetPeriodicPrimaryUsers(40, 16); err != nil {
-		log.Fatal(err)
-	}
-	fast, err := scenario.Discover(crn.CSeek, 40)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("40%% fast bursts:  %3d/%3d pairs, complete at slot %d\n",
-		fast.PairsDiscovered, fast.PairsTotal, fast.CompletedAtSlot)
-
-	// Bursty Markov primary users (occupancy ≈ 1/6).
-	if err := scenario.SetMarkovPrimaryUsers(0.01, 0.05, 0, 77); err != nil {
-		log.Fatal(err)
-	}
-	markov, err := scenario.Discover(crn.CSeek, 40)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Markov bursts:    %3d/%3d pairs, complete at slot %d\n",
-		markov.PairsDiscovered, markov.PairsTotal, markov.CompletedAtSlot)
 
 	fmt.Println("\nCSEEK assumes nothing about spectrum beyond the k shared channels,")
 	fmt.Println("so primary-user activity slows it down instead of breaking it.")

@@ -1,10 +1,12 @@
-// Quickstart: generate a small cognitive radio network and run CSEEK
-// neighbor discovery on it.
+// Quickstart: generate a small cognitive radio network, run CSEEK
+// neighbor discovery through the Primitive API, then fan the same
+// primitive out over many seeds with the sweep engine.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -17,29 +19,50 @@ func main() {
 	// channels; every pair of neighbors is guaranteed to share at
 	// least 2 (the k of the model), and there is no global channel
 	// numbering — each node labels its own channels 0..4.
-	scenario, err := crn.NewScenario(crn.ScenarioConfig{
-		Topology: crn.GNP,
-		N:        12,
-		C:        5,
-		K:        2,
-		Seed:     7,
-	})
+	scenario, err := crn.New(
+		crn.WithTopology(crn.GNP),
+		crn.WithNodes(12),
+		crn.WithChannels(5, 2, 0),
+		crn.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("scenario:", scenario)
 
-	// Run CSEEK (Theorem 4): O~((c²/k) + (kmax/k)·Δ) slots.
-	res, err := scenario.Discover(crn.CSeek, 99)
+	// Run CSEEK (Theorem 4): O~((c²/k) + (kmax/k)·Δ) slots. Every
+	// algorithm is a crn.Primitive returning the same Result envelope.
+	ctx := context.Background()
+	res, err := crn.Discovery(crn.CSeek).Run(ctx, scenario, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("schedule: %d slots, discovery complete at slot %d\n",
 		res.ScheduleSlots, res.CompletedAtSlot)
-	fmt.Printf("pairs:    %d/%d discovered\n", res.PairsDiscovered, res.PairsTotal)
-	for u, nbrs := range res.Neighbors {
-		sort.Ints(nbrs)
-		fmt.Printf("  node %2d heard %v\n", u, nbrs)
+	fmt.Printf("pairs:    %d/%d discovered\n",
+		res.Discovery.PairsDiscovered, res.Discovery.PairsTotal)
+	for u, nbrs := range res.Discovery.Neighbors {
+		sorted := append([]int(nil), nbrs...)
+		sort.Ints(sorted)
+		fmt.Printf("  node %2d heard %v\n", u, sorted)
 	}
+
+	// One run is an anecdote. Sweep the primitive over 16 seeds on a
+	// bounded worker pool; the aggregate is deterministic regardless of
+	// the worker count.
+	sweep, err := crn.Sweep(ctx, crn.SweepSpec{
+		Primitive: crn.Discovery(crn.CSeek),
+		Variants:  []crn.Variant{{Name: "gnp-12", Scenario: scenario}},
+		Seeds:     16,
+		BaseSeed:  99,
+		Workers:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := sweep.Aggregates[0]
+	tt := agg.Metrics["timeToComplete"]
+	fmt.Printf("\nsweep:    %d runs, %d completed; time-to-complete mean %.1f ± %.1f (median %.0f)\n",
+		agg.Runs, agg.Completed, tt.Mean, tt.StdDev, tt.Median)
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,20 +54,23 @@ func main() {
 	fmt.Printf("cross-town overlap: %d channels (the whitespace both towns share)\n",
 		scenario.SharedChannelCount(3, 4))
 
+	ctx := context.Background()
+
 	// Discover neighbors despite the asymmetric spectrum.
-	disc, err := scenario.Discover(crn.CSeek, 5)
+	disc, err := crn.Discovery(crn.CSeek).Run(ctx, scenario, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("discovery: %d/%d pairs at slot %d\n",
-		disc.PairsDiscovered, disc.PairsTotal, disc.CompletedAtSlot)
+		disc.Discovery.PairsDiscovered, disc.Discovery.PairsTotal, disc.CompletedAtSlot)
 
 	// Broadcast an announcement from the west town across the link.
-	bc, err := scenario.Broadcast(0, "emergency broadcast", 6)
+	bc, err := crn.GlobalBroadcast(0, "emergency broadcast").Run(ctx, scenario, 6)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("broadcast: all informed = %v (dissemination slot %d of %d)\n",
-		bc.AllInformed, bc.AllInformedAtSlot, bc.DissemScheduleSlots)
-	fmt.Printf("coloring:  %d edges colored, valid = %v\n", bc.EdgesColored, bc.ColoringValid)
+		bc.Completed, bc.CompletedAtSlot, bc.Broadcast.DissemScheduleSlots)
+	fmt.Printf("coloring:  %d edges colored, valid = %v\n",
+		bc.Broadcast.EdgesColored, bc.Broadcast.ColoringValid)
 }

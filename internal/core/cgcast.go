@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,7 +39,7 @@ import (
 // their fidelity: ExchangeFull simulates every CSEEK slot in the radio
 // model; ExchangeAbstract delivers the same payloads to the same
 // recipients through an oracle while charging the identical slot
-// budget (see DESIGN.md, "Coloring exchange fidelity"). Stage 5 always
+// budget (see DESIGN.md, "Exchange fidelity"). Stage 5 always
 // runs in the radio model.
 
 // BroadcastMode selects the exchange fidelity of CGCAST stages 1–4.
@@ -84,6 +85,8 @@ type BroadcastResult struct {
 	// AllInformedAt is the slot within stage 5 after which every node
 	// held the message, or -1 if some node finished uninformed.
 	AllInformedAt int64
+	// AllInformed reports whether every node held the message.
+	AllInformed bool
 	// Informed[u] reports whether node u held the message at the end.
 	Informed []bool
 	// ColoringPhases is the number of coloring phases executed.
@@ -147,7 +150,14 @@ type exchangePayload struct {
 // To amortize the setup over many broadcasts, use PrepareCGCast and
 // BroadcastSession.Disseminate instead.
 func RunCGCast(nw *radio.Network, cfg BroadcastConfig) (*BroadcastResult, error) {
-	session, err := PrepareCGCast(nw, SessionConfig{
+	return RunCGCastCtx(context.Background(), nw, cfg)
+}
+
+// RunCGCastCtx is RunCGCast with cooperative cancellation: ctx is
+// checked between pipeline stages and before every simulated slot, so
+// a long setup or dissemination stops early when ctx is cancelled.
+func RunCGCastCtx(ctx context.Context, nw *radio.Network, cfg BroadcastConfig) (*BroadcastResult, error) {
+	session, err := PrepareCGCastCtx(ctx, nw, SessionConfig{
 		Params: cfg.Params,
 		Mode:   cfg.Mode,
 		Seed:   cfg.Seed,
@@ -155,7 +165,7 @@ func RunCGCast(nw *radio.Network, cfg BroadcastConfig) (*BroadcastResult, error)
 	if err != nil {
 		return nil, err
 	}
-	dres, err := session.Disseminate(cfg.D, cfg.Source, cfg.Message, cfg.Seed+1)
+	dres, err := session.DisseminateCtx(ctx, cfg.D, cfg.Source, cfg.Message, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +174,7 @@ func RunCGCast(nw *radio.Network, cfg BroadcastConfig) (*BroadcastResult, error)
 		DissemScheduleSlots: dres.ScheduleSlots,
 		TotalSlots:          session.SetupSlots() + dres.ScheduleSlots,
 		AllInformedAt:       dres.AllInformedAt,
+		AllInformed:         dres.AllInformed,
 		Informed:            dres.Informed,
 		ColoringPhases:      session.phases,
 	}
@@ -195,12 +206,21 @@ type BroadcastSession struct {
 	dropped    map[edgeKey]bool
 	setupSlots int64
 	phases     int
+	// schedules[u] maps color -> u's local dedicated channel (-1 when
+	// none), precomputed once: every dissemination reuses it read-only.
+	schedules [][]int32
 }
 
 // PrepareCGCast runs CGCAST stages 1–4 (discovery, dedicated-channel
 // fixing, edge coloring, color announcement) and returns the reusable
 // session.
 func PrepareCGCast(nw *radio.Network, cfg SessionConfig) (*BroadcastSession, error) {
+	return PrepareCGCastCtx(context.Background(), nw, cfg)
+}
+
+// PrepareCGCastCtx is PrepareCGCast with cooperative cancellation: ctx
+// is checked between coloring phases and before every simulated slot.
+func PrepareCGCastCtx(ctx context.Context, nw *radio.Network, cfg SessionConfig) (*BroadcastSession, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,7 +232,11 @@ func PrepareCGCast(nw *radio.Network, cfg SessionConfig) (*BroadcastSession, err
 	if mode == 0 {
 		mode = ExchangeAbstract
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	d := &cgcastDriver{
+		ctx:    ctx,
 		nw:     nw,
 		p:      p,
 		mode:   mode,
@@ -248,11 +272,14 @@ type DissemResult struct {
 	// AllInformedAt is the slot after which every node held the
 	// message, or -1.
 	AllInformedAt int64
+	// AllInformed reports whether every node held the message.
+	AllInformed bool
 	// Informed[u] reports whether node u held the message at the end.
 	Informed []bool
 }
 
 type cgcastDriver struct {
+	ctx    context.Context
 	nw     *radio.Network
 	p      Params
 	mode   BroadcastMode
@@ -299,7 +326,7 @@ func (d *cgcastDriver) prepare() (*BroadcastSession, error) {
 	if err := d.announceColors(); err != nil {
 		return nil, err
 	}
-	return &BroadcastSession{
+	s := &BroadcastSession{
 		nw:         d.nw,
 		p:          d.p,
 		mode:       d.mode,
@@ -308,7 +335,30 @@ func (d *cgcastDriver) prepare() (*BroadcastSession, error) {
 		dropped:    d.dropped,
 		setupSlots: d.setupSlots,
 		phases:     phases,
-	}, nil
+	}
+	s.buildSchedules()
+	return s, nil
+}
+
+// buildSchedules derives each node's color -> dedicated-channel map
+// from the final (post-drop) edge states. The session's whole point is
+// many disseminations per setup, so this is computed once, not per
+// message.
+func (s *BroadcastSession) buildSchedules() {
+	numColors := 2 * s.p.Delta
+	s.schedules = make([][]int32, s.n)
+	for u := 0; u < s.n; u++ {
+		schedule := make([]int32, numColors)
+		for i := range schedule {
+			schedule[i] = -1
+		}
+		for _, key := range sortedEdgeKeys(s.edges[u]) {
+			if st := s.edges[u][key]; st.color >= 0 && st.color < numColors {
+				schedule[st.color] = st.localCh
+			}
+		}
+		s.schedules[u] = schedule
+	}
 }
 
 // nodeRand returns a fresh deterministic stream for (stage, node).
@@ -443,13 +493,27 @@ func (d *cgcastDriver) colorEdges(phases int) error {
 		}
 	}
 
+	// Iterate incident edges in sorted order: Propose draws from the
+	// node's per-stage stream, so map-iteration order would make the
+	// realized coloring differ between same-seed runs. The edge sets
+	// are fixed for the whole coloring (drops happen later, in
+	// announceColors), so sort once per node.
+	keysByNode := make([][]edgeKey, d.n)
+	for u := 0; u < d.n; u++ {
+		keysByNode[u] = sortedEdgeKeys(d.edges[u])
+	}
+
 	for phase := 0; phase < phases; phase++ {
+		if err := d.ctx.Err(); err != nil {
+			return err
+		}
 		// Step one: propose and exchange proposals two hops out.
 		proposals := make([]map[edgeKey]int, d.n)
 		for u := 0; u < d.n; u++ {
 			r := d.nodeRand(u)
 			proposals[u] = make(map[edgeKey]int)
-			for key, st := range d.edges[u] {
+			for _, key := range keysByNode[u] {
+				st := d.edges[u][key]
 				if st.sim != nil && st.sim.Active() {
 					if p := st.sim.Propose(r); p != coloring.NoColor {
 						proposals[u][key] = p
@@ -466,7 +530,8 @@ func (d *cgcastDriver) colorEdges(phases int) error {
 		decisions := make([]map[edgeKey]int, d.n)
 		for u := 0; u < d.n; u++ {
 			decisions[u] = make(map[edgeKey]int)
-			for key, st := range d.edges[u] {
+			for _, key := range keysByNode[u] {
+				st := d.edges[u][key]
 				if st.sim == nil || !st.sim.Active() {
 					continue
 				}
@@ -496,6 +561,22 @@ func (d *cgcastDriver) colorEdges(phases int) error {
 		}
 	}
 	return nil
+}
+
+// sortedEdgeKeys returns a node's incident edge keys in canonical
+// order, for deterministic iteration over the edge-state map.
+func sortedEdgeKeys(edges map[edgeKey]*edgeState) []edgeKey {
+	keys := make([]edgeKey, 0, len(edges))
+	for key := range edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].U != keys[j].U {
+			return keys[i].U < keys[j].U
+		}
+		return keys[i].V < keys[j].V
+	})
+	return keys
 }
 
 // bundles converts per-node entry maps into per-node colorBundles.
@@ -601,6 +682,9 @@ func (d *cgcastDriver) exchangeTwoHop(own []colorBundle) ([]map[radio.NodeID]col
 // execution; in abstract mode an oracle at identical slot cost.
 func (d *cgcastDriver) exchange(payloads []any) ([]map[radio.NodeID]any, error) {
 	defer d.nextStage()
+	if err := d.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if d.mode == ExchangeAbstract {
 		out := make([]map[radio.NodeID]any, d.n)
 		for u := 0; u < d.n; u++ {
@@ -645,7 +729,10 @@ func (d *cgcastDriver) runEngine(protos []radio.Protocol) error {
 	if err != nil {
 		return err
 	}
-	st := e.Run(d.exchangeSlots + 1)
+	st, err := e.RunUntilCtx(d.ctx, d.exchangeSlots+1, nil)
+	if err != nil {
+		return err
+	}
 	if !st.Completed {
 		return fmt.Errorf("core: exchange stage did not complete in %d slots", d.exchangeSlots)
 	}
@@ -731,30 +818,26 @@ func anySlice(bundles []colorBundle) []any {
 // session: D phases of 2Δ color-steps, each step Θ(lg n) back-off
 // rounds of lg Δ slots on the edge's dedicated channel.
 func (s *BroadcastSession) Disseminate(dD int, source radio.NodeID, msg any, seed uint64) (*DissemResult, error) {
+	return s.DisseminateCtx(context.Background(), dD, source, msg, seed)
+}
+
+// DisseminateCtx is Disseminate with cooperative cancellation: ctx is
+// checked before every simulated slot.
+func (s *BroadcastSession) DisseminateCtx(ctx context.Context, dD int, source radio.NodeID, msg any, seed uint64) (*DissemResult, error) {
 	if dD < 1 {
 		return nil, fmt.Errorf("core: D must be >= 1, got %d", dD)
 	}
 	if int(source) < 0 || int(source) >= s.n {
 		return nil, fmt.Errorf("core: source %d out of range", source)
 	}
-	numColors := 2 * s.p.Delta
 	rounds := scaledSteps(s.p.Tuning.DissemRounds, 1, s.p.LgN())
 	protos := make([]radio.Protocol, s.n)
 	dps := make([]*dissemProto, s.n)
 	master := rng.New(seed)
 	for u := 0; u < s.n; u++ {
-		schedule := make([]int32, numColors)
-		for i := range schedule {
-			schedule[i] = -1
-		}
-		for _, st := range s.edges[u] {
-			if st.color >= 0 && st.color < numColors {
-				schedule[st.color] = st.localCh
-			}
-		}
 		dp := &dissemProto{
 			env:      Env{ID: radio.NodeID(u), C: s.p.C, Rand: master.Split(uint64(u))},
-			schedule: schedule,
+			schedule: s.schedules[u],
 			phases:   dD,
 			rounds:   rounds,
 			lgDelta:  s.p.LgDelta(),
@@ -772,7 +855,7 @@ func (s *BroadcastSession) Disseminate(dD int, source radio.NodeID, msg any, see
 	scheduleSlots := dps[0].totalSlots()
 
 	allInformedAt := int64(-1)
-	st := e.RunUntil(scheduleSlots+1, func(slot int64) bool {
+	st, err := e.RunUntilCtx(ctx, scheduleSlots+1, func(slot int64) bool {
 		if allInformedAt >= 0 {
 			return false // keep running the schedule to full length
 		}
@@ -784,6 +867,9 @@ func (s *BroadcastSession) Disseminate(dD int, source radio.NodeID, msg any, see
 		allInformedAt = slot
 		return false
 	})
+	if err != nil {
+		return nil, err
+	}
 	if !st.Completed {
 		return nil, fmt.Errorf("core: dissemination did not complete in %d slots", scheduleSlots)
 	}
@@ -791,10 +877,14 @@ func (s *BroadcastSession) Disseminate(dD int, source radio.NodeID, msg any, see
 	res := &DissemResult{
 		ScheduleSlots: scheduleSlots,
 		AllInformedAt: allInformedAt,
+		AllInformed:   true,
 		Informed:      make([]bool, s.n),
 	}
 	for u, dp := range dps {
 		res.Informed[u] = dp.informed
+		if !dp.informed {
+			res.AllInformed = false
+		}
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crn/internal/radio"
@@ -93,15 +94,38 @@ func (f *Flood) TotalSlots() int64 { return f.maxSlots }
 // or the budget runs out; it returns the slot at which the last node
 // became informed (-1 if never) and whether all nodes were informed.
 func RunFlood(nw *radio.Network, p Params, d int, source radio.NodeID, msg any, seed uint64) (int64, bool, error) {
-	if err := nw.Validate(); err != nil {
+	res, err := RunFloodCtx(context.Background(), nw, p, d, source, msg, seed)
+	if err != nil {
 		return 0, false, err
 	}
+	return res.AllInformedAt, res.AllInformed, nil
+}
+
+// FloodResult reports one flooding run.
+type FloodResult struct {
+	// ScheduleSlots is the flooding budget in slots.
+	ScheduleSlots int64
+	// AllInformedAt is the slot at which the last node became informed,
+	// or -1 if the budget ran out first.
+	AllInformedAt int64
+	// AllInformed reports whether every node got the message.
+	AllInformed bool
+	// Informed[u] reports whether node u held the message at the end.
+	Informed []bool
+}
+
+// RunFloodCtx is RunFlood with cooperative cancellation (ctx is
+// checked before every simulated slot) and a richer result.
+func RunFloodCtx(ctx context.Context, nw *radio.Network, p Params, d int, source radio.NodeID, msg any, seed uint64) (*FloodResult, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Normalize(); err != nil {
-		return 0, false, err
+		return nil, err
 	}
 	n := nw.Graph.N()
 	if int(source) < 0 || int(source) >= n {
-		return 0, false, fmt.Errorf("core: source %d out of range", source)
+		return nil, fmt.Errorf("core: source %d out of range", source)
 	}
 	master := rng.New(seed)
 	floods := make([]*Flood, n)
@@ -109,17 +133,17 @@ func RunFlood(nw *radio.Network, p Params, d int, source radio.NodeID, msg any, 
 	for u := 0; u < n; u++ {
 		fl, err := NewFlood(p, Env{ID: radio.NodeID(u), C: p.C, Rand: master.Split(uint64(u))}, d, radio.NodeID(u) == source, msg)
 		if err != nil {
-			return 0, false, err
+			return nil, err
 		}
 		floods[u] = fl
 		protos[u] = fl
 	}
 	e, err := radio.NewEngine(nw, protos)
 	if err != nil {
-		return 0, false, err
+		return nil, err
 	}
 	var doneAt int64 = -1
-	e.RunUntil(floods[0].TotalSlots()+1, func(slot int64) bool {
+	if _, err := e.RunUntilCtx(ctx, floods[0].TotalSlots()+1, func(slot int64) bool {
 		for _, fl := range floods {
 			if !fl.Informed() {
 				return false
@@ -127,13 +151,20 @@ func RunFlood(nw *radio.Network, p Params, d int, source radio.NodeID, msg any, 
 		}
 		doneAt = slot
 		return true
-	})
-	all := true
-	for _, fl := range floods {
+	}); err != nil {
+		return nil, err
+	}
+	res := &FloodResult{
+		ScheduleSlots: floods[0].TotalSlots(),
+		AllInformedAt: doneAt,
+		AllInformed:   true,
+		Informed:      make([]bool, n),
+	}
+	for u, fl := range floods {
+		res.Informed[u] = fl.Informed()
 		if !fl.Informed() {
-			all = false
-			break
+			res.AllInformed = false
 		}
 	}
-	return doneAt, all, nil
+	return res, nil
 }

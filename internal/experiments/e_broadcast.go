@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"crn"
 	"crn/internal/chanassign"
 	"crn/internal/coloring"
-	"crn/internal/core"
 	"crn/internal/graph"
 	"crn/internal/rng"
 )
@@ -48,8 +49,9 @@ func E6Coloring(scale Scale, seed uint64) (*Table, error) {
 }
 
 // E7BroadcastVsD sweeps the network diameter on cluster chains and
-// compares CGCAST against naive flooding. Theorem 9: CGCAST pays its
-// setup once plus D·Δ dissemination; flooding pays ~(c²/k) per hop.
+// compares CGCAST against naive flooding, both run as facade
+// primitives. Theorem 9: CGCAST pays its setup once plus D·Δ
+// dissemination; flooding pays ~(c²/k) per hop.
 func E7BroadcastVsD(scale Scale, seed uint64) (*Table, error) {
 	lengths := []int{2, 4, 8, 16}
 	if scale == Quick {
@@ -67,6 +69,7 @@ func E7BroadcastVsD(scale Scale, seed uint64) (*Table, error) {
 			"flood informed@"},
 	}
 
+	ctx := context.Background()
 	for _, length := range lengths {
 		g, err := graph.ClusterChain(length, clusterSize)
 		if err != nil {
@@ -76,36 +79,28 @@ func E7BroadcastVsD(scale Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		in, err := newInstance(g, a)
+		scn, err := facadeScenario(g, a)
 		if err != nil {
 			return nil, err
 		}
-		d := g.Diameter()
-		res, err := core.RunCGCast(in.nw, core.BroadcastConfig{
-			Params:  in.p,
-			D:       d,
-			Source:  0,
-			Message: "m",
-			Mode:    core.ExchangeAbstract,
-			Seed:    seed + uint64(length)*13,
-		})
+		res, err := crn.GlobalBroadcast(0, "m").Run(ctx, scn, seed+uint64(length)*13)
 		if err != nil {
 			return nil, err
 		}
-		floodAt, floodAll, err := core.RunFlood(in.nw, in.p, d, 0, "m", seed+uint64(length)*17)
+		flood, err := crn.Flooding(0, "m").Run(ctx, scn, seed+uint64(length)*17)
 		if err != nil {
 			return nil, err
 		}
 		floodStr := "censored"
-		if floodAll {
-			floodStr = itoa(floodAt)
+		if flood.Completed {
+			floodStr = itoa(flood.CompletedAtSlot)
 		}
 		cgAt := "censored"
-		if res.AllInformedAt >= 0 {
-			cgAt = itoa(res.AllInformedAt)
+		if res.CompletedAtSlot >= 0 {
+			cgAt = itoa(res.CompletedAtSlot)
 		}
-		t.AddRow(itoa(int64(d)), itoa(int64(g.N())), itoa(res.SetupSlots),
-			itoa(res.DissemScheduleSlots), cgAt, floodStr)
+		t.AddRow(itoa(int64(scn.Diameter())), itoa(int64(g.N())), itoa(res.Broadcast.SetupSlots),
+			itoa(res.Broadcast.DissemScheduleSlots), cgAt, floodStr)
 	}
 	t.AddNote("paper: CGCAST's per-broadcast cost (informed@ within the dissemination stage) grows ~D·Δ, flooding ~(c²/k)·D; setup is paid once and amortizes over repeated broadcasts")
 	return t, nil
@@ -127,6 +122,7 @@ func E8BroadcastVsDelta(scale Scale, seed uint64) (*Table, error) {
 		Header: []string{"Δ", "D", "dissem schedule", "informed@", "schedule/(D·Δ)"},
 	}
 
+	ctx := context.Background()
 	for _, size := range sizes {
 		g, err := graph.ClusterChain(length, size)
 		if err != nil {
@@ -136,31 +132,25 @@ func E8BroadcastVsDelta(scale Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		in, err := newInstance(g, a)
+		scn, err := facadeScenario(g, a)
 		if err != nil {
 			return nil, err
 		}
-		d := g.Diameter()
-		res, err := core.RunCGCast(in.nw, core.BroadcastConfig{
-			Params:  in.p,
-			D:       d,
-			Source:  0,
-			Message: "m",
-			Mode:    core.ExchangeAbstract,
-			Seed:    seed + uint64(size)*19,
-		})
+		res, err := crn.GlobalBroadcast(0, "m").Run(ctx, scn, seed+uint64(size)*19)
 		if err != nil {
 			return nil, err
 		}
-		delta := in.p.Delta
+		d := scn.Diameter()
+		delta := scn.Delta()
 		cgAt := "censored"
-		if res.AllInformedAt >= 0 {
-			cgAt = itoa(res.AllInformedAt)
+		if res.CompletedAtSlot >= 0 {
+			cgAt = itoa(res.CompletedAtSlot)
 		}
-		norm := float64(res.DissemScheduleSlots) / float64(d*delta)
-		rounds := 2 * in.p.LgN() // Tuning.DissemRounds · lg n
-		predicted := float64(2 * rounds * in.p.LgDelta())
-		t.AddRow(itoa(int64(delta)), itoa(int64(d)), itoa(res.DissemScheduleSlots), cgAt,
+		p := scn.ModelParams()
+		norm := float64(res.Broadcast.DissemScheduleSlots) / float64(d*delta)
+		rounds := int(p.Tuning.DissemRounds * float64(p.LgN()))
+		predicted := float64(2 * rounds * p.LgDelta())
+		t.AddRow(itoa(int64(delta)), itoa(int64(d)), itoa(res.Broadcast.DissemScheduleSlots), cgAt,
 			fmt.Sprintf("%.1f (=%.0f)", norm, predicted))
 	}
 	t.AddNote("paper: dissemination = D·2Δ·rounds·lgΔ, so schedule/(D·Δ) equals the polylog 2·rounds·lgΔ exactly (shown in parentheses)")
@@ -186,6 +176,7 @@ func E11TreeBound(scale Scale, seed uint64) (*Table, error) {
 		Header: []string{"height", "n", "floor h·(min{c,Δ}-1)", "CGCAST informed@", "flood informed@"},
 	}
 
+	ctx := context.Background()
 	for _, h := range heights {
 		g, err := graph.CompleteTree(branching, h)
 		if err != nil {
@@ -198,38 +189,30 @@ func E11TreeBound(scale Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		in, err := newInstance(g, a)
+		scn, err := facadeScenario(g, a)
 		if err != nil {
 			return nil, err
 		}
-		d := g.Diameter()
-		res, err := core.RunCGCast(in.nw, core.BroadcastConfig{
-			Params:  in.p,
-			D:       d,
-			Source:  0,
-			Message: "m",
-			Mode:    core.ExchangeAbstract,
-			Seed:    seed + uint64(h)*23,
-		})
+		res, err := crn.GlobalBroadcast(0, "m").Run(ctx, scn, seed+uint64(h)*23)
 		if err != nil {
 			return nil, err
 		}
-		floodAt, floodAll, err := core.RunFlood(in.nw, in.p, d, 0, "m", seed+uint64(h)*29)
+		flood, err := crn.Flooding(0, "m").Run(ctx, scn, seed+uint64(h)*29)
 		if err != nil {
 			return nil, err
 		}
 		minCD := c
-		if in.p.Delta < minCD {
-			minCD = in.p.Delta
+		if scn.Delta() < minCD {
+			minCD = scn.Delta()
 		}
 		floor := h * (minCD - 1)
 		cgAt := "censored"
-		if res.AllInformedAt >= 0 {
-			cgAt = itoa(res.AllInformedAt)
+		if res.CompletedAtSlot >= 0 {
+			cgAt = itoa(res.CompletedAtSlot)
 		}
 		floodStr := "censored"
-		if floodAll {
-			floodStr = itoa(floodAt)
+		if flood.Completed {
+			floodStr = itoa(flood.CompletedAtSlot)
 		}
 		t.AddRow(itoa(int64(h)), itoa(int64(g.N())), itoa(int64(floor)), cgAt, floodStr)
 	}

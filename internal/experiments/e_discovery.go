@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"crn"
 	"crn/internal/chanassign"
 	"crn/internal/core"
 	"crn/internal/graph"
-	"crn/internal/radio"
 	"crn/internal/rng"
 	"crn/internal/stats"
 )
@@ -43,19 +44,19 @@ func E2SeekVsC(scale Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		in, err := newInstance(g, a)
+		scn, err := facadeScenario(g, a)
 		if err != nil {
 			return nil, err
 		}
-		cseek, _, err := medianTimeToDiscovery(in, cseekFactory, trials, seed+1)
+		cseek, _, err := medianTimeToDiscovery(scn, crn.Discovery(crn.CSeek), trials, seed+1)
 		if err != nil {
 			return nil, err
 		}
-		naive, _, err := medianTimeToDiscovery(in, naiveFactory, trials, seed+2)
+		naive, _, err := medianTimeToDiscovery(scn, crn.Discovery(crn.Naive), trials, seed+2)
 		if err != nil {
 			return nil, err
 		}
-		uniform, _, err := medianTimeToDiscovery(in, uniformFactory, trials, seed+3)
+		uniform, _, err := medianTimeToDiscovery(scn, crn.Discovery(crn.Uniform), trials, seed+3)
 		if err != nil {
 			return nil, err
 		}
@@ -97,15 +98,15 @@ func E3SeekVsDelta(scale Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		in, err := newInstance(g, a)
+		scn, err := facadeScenario(g, a)
 		if err != nil {
 			return nil, err
 		}
-		cseek, _, err := medianTimeToDiscovery(in, cseekFactory, trials, seed+4)
+		cseek, _, err := medianTimeToDiscovery(scn, crn.Discovery(crn.CSeek), trials, seed+4)
 		if err != nil {
 			return nil, err
 		}
-		naive, _, err := medianTimeToDiscovery(in, naiveFactory, trials, seed+5)
+		naive, _, err := medianTimeToDiscovery(scn, crn.Discovery(crn.Naive), trials, seed+5)
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +150,11 @@ func E4Heterogeneity(scale Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		med, incomplete, err := medianTimeToDiscovery(in, cseekFactory, trials, seed+6)
+		scn, err := facadeScenario(in.g, in.a)
+		if err != nil {
+			return nil, err
+		}
+		med, incomplete, err := medianTimeToDiscovery(scn, crn.Discovery(crn.CSeek), trials, seed+6)
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +224,8 @@ func starWithWeakLink(leaves, c, kmax int, seed uint64) (*instance, error) {
 
 // E5KSeek reproduces Theorem 6: CKSEEK solves k̂-neighbor-discovery
 // strictly faster as k̂ grows, while still finding every good neighbor.
+// The whole measurement goes through the KDiscovery primitive, whose
+// Result already counts the good (≥ k̂ shared channels) pairs.
 func E5KSeek(scale Scale, seed uint64) (*Table, error) {
 	khats := []int{2, 4, 8}
 	n := 20
@@ -243,110 +250,33 @@ func E5KSeek(scale Scale, seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := newInstance(g, a)
+	scn, err := facadeScenario(g, a)
 	if err != nil {
 		return nil, err
 	}
 
 	for _, khat := range khats {
-		// Δ_k̂ and the good-pair census.
-		deltaKhat := 0
-		goodPairs := 0
-		for u := 0; u < n; u++ {
-			good := 0
-			for _, v := range g.Neighbors(u) {
-				if a.SharedCount(u, int(v)) >= khat {
-					good++
-				}
-			}
-			goodPairs += good
-			if good > deltaKhat {
-				deltaKhat = good
-			}
-		}
-
-		mk := func(in *instance, _ int, env core.Env) (core.Discoverer, error) {
-			return core.NewCKSeek(in.p, env, khat, deltaKhat)
-		}
-		run, err := timeToGoodDiscovery(in, mk, khat, seed+7)
+		res, err := crn.KDiscovery(khat).Run(context.Background(), scn, seed+7)
 		if err != nil {
 			return nil, err
 		}
-		found := 0
-		for u := 0; u < n; u++ {
-			seen := make(map[radio.NodeID]bool)
-			for _, id := range run.ds[u].Discovered() {
-				seen[id] = true
-			}
-			for _, v := range g.Neighbors(u) {
-				if a.SharedCount(u, int(v)) >= khat && seen[radio.NodeID(v)] {
-					found++
-				}
-			}
-		}
 		timeStr := "censored"
-		if run.doneAt >= 0 {
-			timeStr = itoa(run.doneAt)
+		if res.CompletedAtSlot >= 0 {
+			timeStr = itoa(res.CompletedAtSlot)
 		}
-		t.AddRow(itoa(int64(khat)), itoa(run.schedule),
-			itoa(int64(goodPairs)), itoa(int64(found)), timeStr)
+		t.AddRow(itoa(int64(khat)), itoa(res.ScheduleSlots),
+			itoa(int64(res.Discovery.PairsTotal)),
+			itoa(int64(res.Discovery.PairsDiscovered)), timeStr)
 	}
 	t.AddNote("paper: schedule strictly decreases in k̂ and all good neighbors are found")
 	return t, nil
 }
 
-// timeToGoodDiscovery runs until every node found all its ≥k̂ neighbors.
-func timeToGoodDiscovery(in *instance, mk discovererFactory, khat int, seed uint64) (*discoveryRun, error) {
-	n := in.g.N()
-	master := rng.New(seed)
-	ds := make([]core.Discoverer, n)
-	protos := make([]radio.Protocol, n)
-	for u := 0; u < n; u++ {
-		env := core.Env{ID: radio.NodeID(u), C: in.p.C, Rand: master.Split(uint64(u))}
-		d, err := mk(in, u, env)
-		if err != nil {
-			return nil, err
-		}
-		ds[u] = d
-		protos[u] = d
-	}
-	e, err := radio.NewEngine(in.nw, protos)
-	if err != nil {
-		return nil, err
-	}
-	// Good-neighbor targets per node.
-	targets := make([]map[radio.NodeID]bool, n)
-	for u := 0; u < n; u++ {
-		targets[u] = make(map[radio.NodeID]bool)
-		for _, v := range in.g.Neighbors(u) {
-			if in.a.SharedCount(u, int(v)) >= khat {
-				targets[u][radio.NodeID(v)] = true
-			}
-		}
-	}
-	doneAt := int64(-1)
-	e.RunUntil(ds[0].TotalSlots()+1, func(slot int64) bool {
-		for u := 0; u < n; u++ {
-			found := 0
-			for _, id := range ds[u].Discovered() {
-				if targets[u][id] {
-					found++
-				}
-			}
-			if found < len(targets[u]) {
-				return false
-			}
-		}
-		doneAt = slot
-		return true
-	})
-	return &discoveryRun{doneAt: doneAt, schedule: ds[0].TotalSlots(), ds: ds}, nil
-}
-
 // E12PriorityBias reproduces the Section 7 observation: in CSEEK's part
 // two, neighbors overlapping on many channels are heard earlier than
 // sparse-overlap neighbors, because the density-weighted listener
-// favors the channels where they live.
+// favors the channels where they live. The first-heard slots come from
+// the Result envelope's FirstHeard detail.
 func E12PriorityBias(scale Scale, seed uint64) (*Table, error) {
 	trials := 3
 	n := 20
@@ -371,31 +301,29 @@ func E12PriorityBias(scale Scale, seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := newInstance(g, a)
+	scn, err := facadeScenario(g, a)
 	if err != nil {
 		return nil, err
 	}
 
+	prim := crn.Discovery(crn.CSeek)
 	var sparse, dense []float64
 	for trial := 0; trial < trials; trial++ {
-		run, err := timeToFullDiscovery(in, cseekFactory, seed+uint64(100+trial))
+		res, err := prim.Run(context.Background(), scn, seed+uint64(100+trial))
 		if err != nil {
 			return nil, err
 		}
+		d := res.Discovery
 		for u := 0; u < n; u++ {
-			cs, ok := run.ds[u].(*core.CSeek)
-			if !ok {
-				return nil, fmt.Errorf("experiments: expected CSeek")
-			}
-			for _, v := range g.Neighbors(u) {
-				obs := cs.Observation(radio.NodeID(v))
-				if obs == nil {
+			for i, v := range d.Neighbors[u] {
+				slot := d.FirstHeard[u][i]
+				if slot < 0 {
 					continue
 				}
-				if a.SharedCount(u, int(v)) >= kmax {
-					dense = append(dense, float64(obs.Slot))
+				if a.SharedCount(u, v) >= kmax {
+					dense = append(dense, float64(slot))
 				} else {
-					sparse = append(sparse, float64(obs.Slot))
+					sparse = append(sparse, float64(slot))
 				}
 			}
 		}

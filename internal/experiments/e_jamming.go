@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"crn"
 	"crn/internal/chanassign"
 	"crn/internal/graph"
 	"crn/internal/rng"
@@ -50,18 +51,19 @@ func E13Jamming(scale Scale, seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := newInstance(g, a)
+	clear, err := facadeScenario(g, a)
 	if err != nil {
 		return nil, err
 	}
 	// One CSEEK part-one step is a COUNT execution of
 	// (lgΔ+1)·max(CountMinRoundSlots, CountSlotsPerRound·lg n) slots;
 	// burst periods are expressed relative to it.
-	spr := int64(in.p.Tuning.CountSlotsPerRound * float64(in.p.LgN()))
-	if spr < int64(in.p.Tuning.CountMinRoundSlots) {
-		spr = int64(in.p.Tuning.CountMinRoundSlots)
+	p := clear.ModelParams()
+	spr := int64(p.Tuning.CountSlotsPerRound * float64(p.LgN()))
+	if spr < int64(p.Tuning.CountMinRoundSlots) {
+		spr = int64(p.Tuning.CountMinRoundSlots)
 	}
-	countSlots := int64(in.p.LgDelta()+1) * spr
+	countSlots := int64(p.LgDelta()+1) * spr
 	bursts := []struct {
 		name   string
 		period int64
@@ -70,9 +72,10 @@ func E13Jamming(scale Scale, seed uint64) (*Table, error) {
 		{name: "step-scale bursts", period: 6 * countSlots},
 	}
 
+	prim := crn.Discovery(crn.CSeek)
+
 	// Baseline without jamming.
-	in.nw.Jammer = nil
-	base, _, err := medianTimeToDiscovery(in, cseekFactory, trials, seed+2)
+	base, _, err := medianTimeToDiscovery(clear, prim, trials, seed+2)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +84,7 @@ func E13Jamming(scale Scale, seed uint64) (*Table, error) {
 	for _, burst := range bursts {
 		for _, duty := range duties {
 			on := int64(duty * float64(burst.period))
-			stride := burst.period / int64(in.a.Universe)
+			stride := burst.period / int64(a.Universe)
 			if stride < 1 {
 				stride = 1
 			}
@@ -89,9 +92,14 @@ func E13Jamming(scale Scale, seed uint64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			in.nw.Jammer = j
-			occupancy := spectrum.OccupancyFraction(j, in.a.Universe, 10*burst.period)
-			med, incomplete, err := medianTimeToDiscovery(in, cseekFactory, trials, seed+3)
+			// Each jammer config is its own immutable scenario variant —
+			// the shape a facade Sweep over primary-user models takes.
+			jammed, err := facadeScenario(g, a, crn.WithJammer(j))
+			if err != nil {
+				return nil, err
+			}
+			occupancy := spectrum.OccupancyFraction(j, a.Universe, 10*burst.period)
+			med, incomplete, err := medianTimeToDiscovery(jammed, prim, trials, seed+3)
 			if err != nil {
 				return nil, err
 			}
@@ -103,7 +111,6 @@ func E13Jamming(scale Scale, seed uint64) (*Table, error) {
 				fmt.Sprintf("%d/%d", trials-incomplete, trials))
 		}
 	}
-	in.nw.Jammer = nil
 	t.AddNote("fast jamming leaves the slowdown near 1.00 (COUNT's within-step redundancy); step-scale bursts move the median only slightly but push the tail past the schedule — the completion column is where the damage shows; the algorithm never assumed clear spectrum, only the k-shared-channels guarantee")
 	return t, nil
 }

@@ -1,25 +1,31 @@
 // Package experiments defines one reproducible experiment per claim of
-// the paper (see DESIGN.md's experiment index, E1–E12). Each
+// the paper (see DESIGN.md's experiment index, E1–E16). Each
 // experiment builds its workload, sweeps its parameter, runs the
 // algorithms and baselines, and returns a Table whose rows are the
 // series the theory predicts. cmd/crnbench prints all of them;
 // bench_test.go wraps each in a testing.B benchmark.
+//
+// Experiments that measure whole primitives (discovery, broadcast)
+// run through the public crn facade — the same Primitive/Sweep path
+// users run — while experiments probing sub-protocol machinery step
+// internal protocols directly.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
+	"crn"
 	"crn/internal/chanassign"
 	"crn/internal/core"
 	"crn/internal/graph"
 	"crn/internal/radio"
-	"crn/internal/rng"
 )
 
 // Scale selects experiment sizes: Quick for benchmarks and smoke runs,
-// Full for the EXPERIMENTS.md regeneration.
+// Full for the cmd/crnbench table regeneration.
 type Scale int
 
 // Experiment scales.
@@ -143,7 +149,10 @@ func (t *Table) Render(w io.Writer) error {
 
 // ----- shared measurement helpers -----
 
-// instance bundles a generated workload.
+// instance bundles a generated workload for the experiments that step
+// raw protocols (COUNT, hitting games, rendezvous, staggered starts,
+// broadcast sessions). Experiments that measure whole primitives go
+// through the public facade instead — see facadeScenario.
 type instance struct {
 	g  *graph.Graph
 	a  *chanassign.Assignment
@@ -161,88 +170,42 @@ func newInstance(g *graph.Graph, a *chanassign.Assignment) (*instance, error) {
 	return &instance{g: g, a: a, p: p, nw: &radio.Network{Graph: g, Assign: a}}, nil
 }
 
-// discovererFactory builds one node's discovery protocol.
-type discovererFactory func(in *instance, u int, env core.Env) (core.Discoverer, error)
-
-func cseekFactory(in *instance, _ int, env core.Env) (core.Discoverer, error) {
-	return core.NewCSeek(in.p, env)
+// facadeScenario bridges a bespoke workload (prebuilt graph and
+// channel assignment) into the public facade, so experiments measure
+// through the exact Primitive/Sweep path users run.
+func facadeScenario(g *graph.Graph, a *chanassign.Assignment, opts ...crn.ScenarioOption) (*crn.Scenario, error) {
+	return crn.NewScenarioFromParts(g, a, opts...)
 }
 
-func naiveFactory(in *instance, _ int, env core.Env) (core.Discoverer, error) {
-	return core.NewNaiveSeek(in.p, env)
-}
-
-func uniformFactory(in *instance, _ int, env core.Env) (core.Discoverer, error) {
-	return core.NewUniformSeek(in.p, env)
-}
-
-// discoveryRun holds one measured execution.
-type discoveryRun struct {
-	// doneAt is the slot at which every node knew all graph neighbors
-	// (-1 if the schedule ended first).
-	doneAt int64
-	// schedule is the protocol's fixed schedule length.
-	schedule int64
-	// ds are the protocol instances (for per-pair inspection).
-	ds []core.Discoverer
-}
-
-// timeToFullDiscovery runs one protocol instance per node until every
-// node has heard every graph neighbor, or the schedule ends.
-func timeToFullDiscovery(in *instance, mk discovererFactory, seed uint64) (*discoveryRun, error) {
-	n := in.g.N()
-	master := rng.New(seed)
-	ds := make([]core.Discoverer, n)
-	protos := make([]radio.Protocol, n)
-	for u := 0; u < n; u++ {
-		env := core.Env{ID: radio.NodeID(u), C: in.p.C, Rand: master.Split(uint64(u))}
-		d, err := mk(in, u, env)
-		if err != nil {
-			return nil, err
-		}
-		ds[u] = d
-		protos[u] = d
+// medianTimeToDiscovery sweeps prim over `trials` seeds on the shared
+// scenario and returns the median slots-to-complete (incomplete runs
+// censored at the full schedule length — a conservative treatment)
+// plus the incomplete-run count.
+func medianTimeToDiscovery(scn *crn.Scenario, prim crn.Primitive, trials int, seed uint64) (float64, int, error) {
+	agg, err := sweepAggregate(scn, prim, trials, seed)
+	if err != nil {
+		return 0, 0, err
 	}
-	e, err := radio.NewEngine(in.nw, protos)
+	return agg.Metrics["timeToComplete"].Median, agg.Runs - agg.Completed, nil
+}
+
+// sweepAggregate runs one single-variant sweep through the public
+// engine and returns its aggregate.
+func sweepAggregate(scn *crn.Scenario, prim crn.Primitive, trials int, seed uint64) (*crn.Aggregate, error) {
+	res, err := crn.Sweep(context.Background(), crn.SweepSpec{
+		Primitive: prim,
+		Variants:  []crn.Variant{{Scenario: scn}},
+		Seeds:     trials,
+		BaseSeed:  seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	need := make([]int, n)
-	for u := 0; u < n; u++ {
-		need[u] = in.g.Degree(u)
+	agg := &res.Aggregates[0]
+	if agg.Failures > 0 {
+		return nil, fmt.Errorf("experiments: %d/%d sweep runs failed", agg.Failures, agg.Runs)
 	}
-	doneAt := int64(-1)
-	e.RunUntil(ds[0].TotalSlots()+1, func(slot int64) bool {
-		for u := 0; u < n; u++ {
-			if ds[u].DiscoveredCount() < need[u] {
-				return false
-			}
-		}
-		doneAt = slot
-		return true
-	})
-	return &discoveryRun{doneAt: doneAt, schedule: ds[0].TotalSlots(), ds: ds}, nil
-}
-
-// medianTimeToDiscovery repeats timeToFullDiscovery and returns the
-// median achieved slot count, treating incomplete runs as the full
-// schedule length (a conservative censoring).
-func medianTimeToDiscovery(in *instance, mk discovererFactory, trials int, seed uint64) (float64, int, error) {
-	times := make([]float64, 0, trials)
-	incomplete := 0
-	for i := 0; i < trials; i++ {
-		run, err := timeToFullDiscovery(in, mk, seed+uint64(i)*7919)
-		if err != nil {
-			return 0, 0, err
-		}
-		if run.doneAt < 0 {
-			incomplete++
-			times = append(times, float64(run.schedule))
-			continue
-		}
-		times = append(times, float64(run.doneAt))
-	}
-	return median(times), incomplete, nil
+	return agg, nil
 }
 
 func median(xs []float64) float64 {

@@ -17,6 +17,7 @@
 package radio
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -168,13 +169,7 @@ func (e *Engine) Stats() Stats { return e.stats }
 // maxSlots have elapsed. It can be called again to continue a run with
 // a larger budget.
 func (e *Engine) Run(maxSlots int64) Stats {
-	for e.slot < maxSlots && e.nDone < len(e.protocols) {
-		e.step(0, len(e.protocols))
-		e.slot++
-		e.stats.Slots = e.slot
-	}
-	e.stats.Completed = e.nDone == len(e.protocols)
-	return e.stats
+	return e.RunUntil(maxSlots, nil)
 }
 
 // RunUntil executes slots sequentially like Run but additionally stops
@@ -182,7 +177,29 @@ func (e *Engine) Run(maxSlots int64) Stats {
 // it to measure time-to-goal for protocols whose own schedules are
 // fixed-length (e.g. "slots until every node knows all neighbors").
 func (e *Engine) RunUntil(maxSlots int64, stop func(slot int64) bool) Stats {
+	st, _ := e.RunUntilCtx(context.Background(), maxSlots, stop)
+	return st
+}
+
+// RunUntilCtx is RunUntil with cooperative cancellation: the context is
+// checked before every slot, and a cancelled run returns the stats
+// accumulated so far together with ctx.Err(). A nil ctx means
+// context.Background(). This is the cancellation point every facade
+// primitive and the sweep engine thread their contexts down to.
+func (e *Engine) RunUntilCtx(ctx context.Context, maxSlots int64, stop func(slot int64) bool) (Stats, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	for e.slot < maxSlots && e.nDone < len(e.protocols) {
+		if done != nil {
+			select {
+			case <-done:
+				e.stats.Completed = false
+				return e.stats, ctx.Err()
+			default:
+			}
+		}
 		e.step(0, len(e.protocols))
 		e.slot++
 		e.stats.Slots = e.slot
@@ -191,7 +208,7 @@ func (e *Engine) RunUntil(maxSlots int64, stop func(slot int64) bool) Stats {
 		}
 	}
 	e.stats.Completed = e.nDone == len(e.protocols)
-	return e.stats
+	return e.stats, nil
 }
 
 // RunParallel executes the same semantics as Run but fans the per-node

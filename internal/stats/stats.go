@@ -9,16 +9,18 @@ import (
 	"sort"
 )
 
-// Summary describes a sample of measurements.
+// Summary describes a sample of measurements. The json tags keep the
+// public sweep output (crn.Summary aliases this type) consistently
+// camelCase.
 type Summary struct {
-	N      int
-	Mean   float64
-	StdDev float64
-	Min    float64
-	P25    float64
-	Median float64
-	P75    float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stdDev"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes a Summary. It returns a zero Summary for empty

@@ -1,0 +1,114 @@
+package crn
+
+import (
+	"fmt"
+
+	"crn/internal/core"
+)
+
+// Tuning exposes the constant multipliers behind the paper's Θ(·)
+// schedule lengths; see core.Tuning for the per-field documentation.
+// Zero-valued fields fall back to defaults.
+type Tuning = core.Tuning
+
+// scenarioBuilder accumulates the effect of ScenarioOptions before a
+// Scenario is generated. Options that depend on the realized network
+// (primary-user models) register post hooks that run after generation.
+type scenarioBuilder struct {
+	cfg  ScenarioConfig
+	post []func(*Scenario) error
+	err  error
+}
+
+// ScenarioOption configures New (and the post-generation stage of
+// NewCustomScenario / NewScenarioFromParts).
+type ScenarioOption func(*scenarioBuilder)
+
+// WithTopology selects the graph generator (default GNP).
+func WithTopology(t Topology) ScenarioOption {
+	return func(b *scenarioBuilder) { b.cfg.Topology = t }
+}
+
+// WithNodes sets the number of nodes n.
+func WithNodes(n int) ScenarioOption {
+	return func(b *scenarioBuilder) { b.cfg.N = n }
+}
+
+// WithChannels sets the channel structure: c channels per node, at
+// least k shared channels per neighbor pair, and — when kmax > k — a
+// heterogeneous assignment in which roughly half the edges share kmax
+// channels. Pass kmax = 0 for the homogeneous kmax = k case.
+func WithChannels(c, k, kmax int) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.cfg.C = c
+		b.cfg.K = k
+		b.cfg.KMax = kmax
+	}
+}
+
+// WithDensity sets the edge probability for GNP and the radius for
+// UnitDisk; zero picks a sensible default.
+func WithDensity(d float64) ScenarioOption {
+	return func(b *scenarioBuilder) { b.cfg.Density = d }
+}
+
+// WithSeed sets the seed driving scenario generation.
+func WithSeed(seed uint64) ScenarioOption {
+	return func(b *scenarioBuilder) { b.cfg.Seed = seed }
+}
+
+// WithTuning overrides the algorithms' constant multipliers;
+// zero-valued fields keep their defaults.
+func WithTuning(t Tuning) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		tc := t
+		b.cfg.Tuning = &tc
+	}
+}
+
+// WithPeriodicPrimaryUsers installs duty-cycled primary users: every
+// global channel is occupied for onSlots out of every period slots,
+// with the phase staggered across channels so some spectrum is always
+// free.
+func WithPeriodicPrimaryUsers(period, onSlots int64) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		if onSlots <= 0 {
+			b.fail(fmt.Errorf("crn: WithPeriodicPrimaryUsers needs onSlots >= 1, got %d", onSlots))
+			return
+		}
+		b.post = append(b.post, func(s *Scenario) error {
+			return s.setPeriodicPrimaryUsers(period, onSlots)
+		})
+	}
+}
+
+// WithMarkovPrimaryUsers installs bursty primary users: each global
+// channel flips between idle and occupied with the given per-slot
+// transition probabilities (idle→busy pBusy, busy→idle pFree), over a
+// precomputed horizon of `horizon` slots (0 picks a horizon generous
+// enough for a CSEEK run). The seed drives the occupancy trajectory.
+func WithMarkovPrimaryUsers(pBusy, pFree float64, horizon int64, seed uint64) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			return s.setMarkovPrimaryUsers(pBusy, pFree, horizon, seed)
+		})
+	}
+}
+
+// WithJammer installs a custom primary-user model.
+func WithJammer(j Jammer) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			s.setJammer(j)
+			return nil
+		})
+	}
+}
+
+// fail records the first option error; New reports it before
+// generating anything.
+func (b *scenarioBuilder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}

@@ -1,0 +1,313 @@
+package crn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"crn/internal/core"
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// Primitive is a runnable communication primitive: one of the paper's
+// algorithms (or a baseline), packaged so every entry point — the CLI,
+// the experiment harness, the sweep engine — runs it the same way and
+// receives the same Result envelope.
+//
+// Run executes the primitive once over the scenario with the given
+// seed. It honors ctx: cancellation is checked before every simulated
+// slot, so even slot-budgets in the millions stop promptly. Run is
+// safe for concurrent use with distinct seeds over a shared Scenario.
+type Primitive interface {
+	// Name identifies the primitive ("cseek", "ckseek", "cgcast", ...).
+	Name() string
+	// Run executes one simulation and reports the common Result.
+	Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error)
+}
+
+// Discovery returns the neighbor-discovery primitive: every node
+// learns the identities of all its neighbors. The empty Algorithm
+// selects CSeek.
+func Discovery(algo Algorithm) Primitive { return discoveryPrimitive{algo: algo} }
+
+type discoveryPrimitive struct{ algo Algorithm }
+
+func (p discoveryPrimitive) Name() string {
+	if p.algo == "" {
+		return string(CSeek)
+	}
+	return string(p.algo)
+}
+
+func (p discoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
+	mk := func(env core.Env) (core.Discoverer, error) {
+		switch p.algo {
+		case CSeek, "":
+			return core.NewCSeek(s.p, env)
+		case Naive:
+			return core.NewNaiveSeek(s.p, env)
+		case Uniform:
+			return core.NewUniformSeek(s.p, env)
+		default:
+			return nil, fmt.Errorf("crn: unknown algorithm %q", p.algo)
+		}
+	}
+	return runDiscovery(ctx, s, p.Name(), mk, nil, seed)
+}
+
+// KDiscovery returns the k̂-neighbor-discovery primitive (CKSEEK,
+// Theorem 6): every node finds (at least) all neighbors sharing at
+// least khat channels with it. The result counts only those "good"
+// pairs, and the run completes when every good pair is found.
+func KDiscovery(khat int) Primitive { return kDiscoveryPrimitive{khat: khat} }
+
+type kDiscoveryPrimitive struct{ khat int }
+
+func (p kDiscoveryPrimitive) Name() string { return "ckseek" }
+
+func (p kDiscoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
+	if p.khat < s.p.K || p.khat > s.p.KMax {
+		return nil, fmt.Errorf("crn: k̂ must be in [k,kmax] = [%d,%d], got %d", s.p.K, s.p.KMax, p.khat)
+	}
+	n := s.g.N()
+	targets := make([]map[radio.NodeID]bool, n)
+	deltaKhat := 0
+	for u := 0; u < n; u++ {
+		targets[u] = make(map[radio.NodeID]bool)
+		for _, v := range s.g.Neighbors(u) {
+			if s.a.SharedCount(u, int(v)) >= p.khat {
+				targets[u][radio.NodeID(v)] = true
+			}
+		}
+		if len(targets[u]) > deltaKhat {
+			deltaKhat = len(targets[u])
+		}
+	}
+	mk := func(env core.Env) (core.Discoverer, error) {
+		return core.NewCKSeek(s.p, env, p.khat, deltaKhat)
+	}
+	return runDiscovery(ctx, s, p.Name(), mk, targets, seed)
+}
+
+// runDiscovery drives one discovery protocol instance per node until
+// the goal predicate holds or the schedule ends. When targets is nil
+// the goal is "every node knows all its graph neighbors" and pairs are
+// counted against the full neighbor universe; otherwise targets[u] is
+// the set node u must find, and pairs are counted against it.
+func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.Env) (core.Discoverer, error), targets []map[radio.NodeID]bool, seed uint64) (*Result, error) {
+	n := s.g.N()
+	master := rng.New(seed)
+	ds := make([]core.Discoverer, n)
+	protos := make([]radio.Protocol, n)
+	for u := 0; u < n; u++ {
+		d, err := mk(core.Env{ID: radio.NodeID(u), C: s.p.C, Rand: master.Split(uint64(u))})
+		if err != nil {
+			return nil, err
+		}
+		ds[u] = d
+		protos[u] = d
+	}
+	e, err := radio.NewEngine(s.nw, protos)
+	if err != nil {
+		return nil, err
+	}
+	// Per-node observation lookups for the target predicate, asserted
+	// once: probing Observation(id) in the stop callback avoids the
+	// per-slot slice Discovered() would allocate in the engine's hot
+	// loop.
+	observers := make([]observer, n)
+	for u := range ds {
+		observers[u], _ = ds[u].(observer)
+	}
+	completedAt := int64(-1)
+	stop := func(slot int64) bool {
+		for u := 0; u < n; u++ {
+			if targets == nil {
+				if ds[u].DiscoveredCount() < s.g.Degree(u) {
+					return false
+				}
+				continue
+			}
+			if observers[u] != nil {
+				for id := range targets[u] {
+					if observers[u].Observation(id) == nil {
+						return false
+					}
+				}
+				continue
+			}
+			found := 0
+			for _, id := range ds[u].Discovered() {
+				if targets[u][id] {
+					found++
+				}
+			}
+			if found < len(targets[u]) {
+				return false
+			}
+		}
+		completedAt = slot
+		return true
+	}
+	if _, err := e.RunUntilCtx(ctx, ds[0].TotalSlots()+1, stop); err != nil {
+		return nil, err
+	}
+
+	det := &DiscoveryDetail{
+		Algorithm:  name,
+		Neighbors:  make([][]int, n),
+		FirstHeard: make([][]int64, n),
+	}
+	for u := 0; u < n; u++ {
+		found := make(map[radio.NodeID]bool)
+		discovered := ds[u].Discovered()
+		// Discovered() carries no order guarantee (it drains a map);
+		// sort so Results — and therefore sweep runs — are reproducible
+		// byte for byte.
+		sort.Slice(discovered, func(i, j int) bool { return discovered[i] < discovered[j] })
+		for _, id := range discovered {
+			found[id] = true
+			det.Neighbors[u] = append(det.Neighbors[u], int(id))
+			det.FirstHeard[u] = append(det.FirstHeard[u], firstHeardSlot(ds[u], id))
+		}
+		if targets == nil {
+			det.PairsTotal += s.g.Degree(u)
+			for _, v := range s.g.Neighbors(u) {
+				if found[radio.NodeID(v)] {
+					det.PairsDiscovered++
+				}
+			}
+			continue
+		}
+		for _, v := range s.g.Neighbors(u) {
+			if !targets[u][radio.NodeID(v)] {
+				continue
+			}
+			det.PairsTotal++
+			if found[radio.NodeID(v)] {
+				det.PairsDiscovered++
+			}
+		}
+	}
+	return &Result{
+		Primitive:       name,
+		ScheduleSlots:   ds[0].TotalSlots(),
+		CompletedAtSlot: completedAt,
+		Completed:       completedAt >= 0,
+		Discovery:       det,
+	}, nil
+}
+
+// observer is the optional per-neighbor observation interface some
+// discoverers (CSEEK and variants) expose.
+type observer interface {
+	Observation(radio.NodeID) *core.SeekObservation
+}
+
+func firstHeardSlot(d core.Discoverer, id radio.NodeID) int64 {
+	if o, ok := d.(observer); ok {
+		if obs := o.Observation(id); obs != nil {
+			return obs.Slot
+		}
+	}
+	return -1
+}
+
+// BroadcastOption configures the GlobalBroadcast primitive and
+// broadcast sessions.
+type BroadcastOption func(*broadcastOptions)
+
+type broadcastOptions struct {
+	mode core.BroadcastMode
+}
+
+// WithFullFidelity makes CGCAST simulate every CSEEK exchange in the
+// radio model instead of using the slot-equivalent oracle. Slower, but
+// end-to-end faithful; see DESIGN.md.
+func WithFullFidelity() BroadcastOption {
+	return func(o *broadcastOptions) { o.mode = core.ExchangeFull }
+}
+
+func resolveBroadcastOptions(opts []BroadcastOption) broadcastOptions {
+	o := broadcastOptions{mode: core.ExchangeAbstract}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// GlobalBroadcast returns the CGCAST global-broadcast primitive
+// (Theorem 9): the full setup pipeline (discovery, dedicated-channel
+// fixing, edge coloring, announcement) followed by one dissemination
+// of message from the source node.
+func GlobalBroadcast(source int, message any, opts ...BroadcastOption) Primitive {
+	return globalBroadcastPrimitive{source: source, message: message, opts: resolveBroadcastOptions(opts)}
+}
+
+type globalBroadcastPrimitive struct {
+	source  int
+	message any
+	opts    broadcastOptions
+}
+
+func (p globalBroadcastPrimitive) Name() string { return "cgcast" }
+
+func (p globalBroadcastPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
+	res, err := core.RunCGCastCtx(ctx, s.nw, core.BroadcastConfig{
+		Params:  s.p,
+		D:       s.d,
+		Source:  radio.NodeID(p.source),
+		Message: p.message,
+		Mode:    p.opts.mode,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Primitive:       p.Name(),
+		ScheduleSlots:   res.TotalSlots,
+		CompletedAtSlot: res.AllInformedAt,
+		Completed:       res.AllInformed,
+		Broadcast: &BroadcastDetail{
+			SetupSlots:          res.SetupSlots,
+			DissemScheduleSlots: res.DissemScheduleSlots,
+			AllInformed:         res.AllInformed,
+			EdgesColored:        res.EdgesColored,
+			EdgesDropped:        res.EdgesDropped,
+			ColoringValid:       res.ColoringValid,
+		},
+	}, nil
+}
+
+// Flooding returns the naive flooding broadcast baseline: informed
+// nodes hop channels at random and broadcast with a back-off coin,
+// paying a fresh rendezvous for every hop.
+func Flooding(source int, message any) Primitive {
+	return floodingPrimitive{source: source, message: message}
+}
+
+type floodingPrimitive struct {
+	source  int
+	message any
+}
+
+func (p floodingPrimitive) Name() string { return "flood" }
+
+func (p floodingPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
+	res, err := core.RunFloodCtx(ctx, s.nw, s.p, s.d, radio.NodeID(p.source), p.message, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Primitive:       p.Name(),
+		ScheduleSlots:   res.ScheduleSlots,
+		CompletedAtSlot: res.AllInformedAt,
+		Completed:       res.AllInformed,
+		Broadcast: &BroadcastDetail{
+			DissemScheduleSlots: res.ScheduleSlots,
+			AllInformed:         res.AllInformed,
+		},
+	}, nil
+}

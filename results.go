@@ -1,0 +1,107 @@
+package crn
+
+// Result is the common envelope every Primitive returns: the schedule
+// budget, when (and whether) the primitive's goal predicate was
+// reached, and one per-primitive detail block. Consumers that only
+// care about slots and completion — the sweep engine, cmd/crnsim's
+// output path, the experiment harness — never have to switch over
+// primitive-specific structs.
+type Result struct {
+	// Primitive is the name of the primitive that ran (e.g. "cseek",
+	// "ckseek", "cgcast", "flood").
+	Primitive string `json:"primitive"`
+	// ScheduleSlots is the primitive's fixed slot budget. For
+	// GlobalBroadcast it is setup plus the dissemination schedule.
+	ScheduleSlots int64 `json:"scheduleSlots"`
+	// CompletedAtSlot is the slot by which the primitive's goal held
+	// (all neighbors known, all good pairs found, every node informed),
+	// or -1 if the schedule ended first. For broadcast primitives the
+	// slot is relative to the dissemination stage.
+	CompletedAtSlot int64 `json:"completedAtSlot"`
+	// Completed reports whether the goal was reached within the budget.
+	Completed bool `json:"completed"`
+
+	// Discovery carries neighbor-discovery detail (Discovery and
+	// KDiscovery primitives).
+	Discovery *DiscoveryDetail `json:"discovery,omitempty"`
+	// Broadcast carries broadcast detail (GlobalBroadcast and Flooding
+	// primitives).
+	Broadcast *BroadcastDetail `json:"broadcast,omitempty"`
+}
+
+// DiscoveryDetail reports one neighbor-discovery run. For KDiscovery
+// the pair counts refer to the "good" (≥ k̂ shared channels) pairs.
+type DiscoveryDetail struct {
+	// Algorithm is the algorithm that ran.
+	Algorithm string `json:"algorithm"`
+	// PairsDiscovered counts directed (node, neighbor) discoveries.
+	PairsDiscovered int `json:"pairsDiscovered"`
+	// PairsTotal is the number of directed neighbor pairs.
+	PairsTotal int `json:"pairsTotal"`
+	// Neighbors[u] lists the identities node u discovered.
+	Neighbors [][]int `json:"neighbors"`
+	// FirstHeard[u][i] is the slot node u first heard Neighbors[u][i],
+	// or -1 when the protocol does not expose observation times.
+	FirstHeard [][]int64 `json:"firstHeard,omitempty"`
+}
+
+// AllDiscovered reports whether every pair was found.
+func (d *DiscoveryDetail) AllDiscovered() bool { return d.PairsDiscovered == d.PairsTotal }
+
+// BroadcastDetail reports one broadcast run. The coloring fields are
+// meaningful only for GlobalBroadcast; Flooding has no setup stage and
+// leaves them zero.
+type BroadcastDetail struct {
+	// SetupSlots covers discovery, channel fixing, coloring, announce
+	// (zero for Flooding).
+	SetupSlots int64 `json:"setupSlots"`
+	// DissemScheduleSlots is the dissemination stage's fixed length.
+	DissemScheduleSlots int64 `json:"dissemScheduleSlots"`
+	// AllInformed reports whether every node got the message.
+	AllInformed bool `json:"allInformed"`
+	// EdgesColored / EdgesDropped describe the realized edge coloring.
+	EdgesColored int `json:"edgesColored"`
+	EdgesDropped int `json:"edgesDropped"`
+	// ColoringValid reports properness of the realized coloring.
+	ColoringValid bool `json:"coloringValid"`
+}
+
+// Metrics returns the run's named numeric measurements — the values
+// Sweep aggregates across runs. "timeToComplete" is CompletedAtSlot
+// censored at the schedule the slot is measured against (the
+// conservative treatment of runs whose schedule ended before the goal
+// held); for broadcast primitives both use the dissemination-stage
+// origin, so completed and censored runs stay on one scale.
+// "completed" is a 0/1 indicator.
+func (r *Result) Metrics() map[string]float64 {
+	budget := r.ScheduleSlots
+	if r.Broadcast != nil {
+		budget = r.Broadcast.DissemScheduleSlots
+	}
+	timeTo := float64(budget)
+	if r.CompletedAtSlot >= 0 {
+		timeTo = float64(r.CompletedAtSlot)
+	}
+	m := map[string]float64{
+		"scheduleSlots":  float64(r.ScheduleSlots),
+		"timeToComplete": timeTo,
+		"completed":      b2f(r.Completed),
+	}
+	if d := r.Discovery; d != nil {
+		m["pairsDiscovered"] = float64(d.PairsDiscovered)
+		m["pairsTotal"] = float64(d.PairsTotal)
+	}
+	if b := r.Broadcast; b != nil {
+		m["setupSlots"] = float64(b.SetupSlots)
+		m["dissemScheduleSlots"] = float64(b.DissemScheduleSlots)
+		m["allInformed"] = b2f(b.AllInformed)
+	}
+	return m
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

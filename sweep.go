@@ -1,0 +1,245 @@
+package crn
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"crn/internal/rng"
+	"crn/internal/stats"
+)
+
+// Summary is the per-metric aggregate the sweep engine reports:
+// mean, standard deviation, median and quartiles of one metric across
+// the runs of one variant.
+type Summary = stats.Summary
+
+// Variant names one scenario configuration inside a sweep. Exactly one
+// of Scenario (a prebuilt scenario, shared read-only by the workers)
+// or Options (applied once when the sweep starts) must be set.
+type Variant struct {
+	// Name labels the variant in aggregates; empty defaults to
+	// "variant-<index>".
+	Name string
+	// Scenario is a prebuilt scenario to run on.
+	Scenario *Scenario
+	// Options generate the scenario at sweep start when Scenario is nil.
+	Options []ScenarioOption
+}
+
+// SweepSpec describes a sweep: one primitive fanned out over
+// Seeds × len(Variants) runs.
+type SweepSpec struct {
+	// Primitive is the primitive every run executes.
+	Primitive Primitive
+	// Variants are the scenario configurations to sweep over; at least
+	// one is required.
+	Variants []Variant
+	// Seeds is the number of runs per variant (default 1). Per-run
+	// seeds are derived deterministically from BaseSeed via rng.Split,
+	// so run (variant, i) sees the same seed regardless of Workers.
+	Seeds int
+	// BaseSeed is the master seed of the sweep.
+	BaseSeed uint64
+	// Workers bounds the parallelism (0 means GOMAXPROCS). The
+	// aggregates are byte-identical for any worker count.
+	Workers int
+	// KeepResults retains every run's full Result envelope (per-node
+	// neighbor lists and all). Off by default: aggregation only needs
+	// each run's Metrics, and large sweeps would otherwise hold
+	// O(runs × n × degree) of detail until the sweep returns.
+	KeepResults bool
+}
+
+// Run is one completed (or failed) simulation inside a sweep.
+type Run struct {
+	// Variant is the variant's resolved name.
+	Variant string `json:"variant"`
+	// Index is the seed index within the variant, in [0, Seeds).
+	Index int `json:"index"`
+	// Seed is the derived per-run seed.
+	Seed uint64 `json:"seed"`
+	// Completed reports whether the run's goal predicate held.
+	Completed bool `json:"completed"`
+	// Metrics are the run's numeric measurements (Result.Metrics);
+	// nil when the run failed.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Result is the full envelope, retained only when
+	// SweepSpec.KeepResults is set (and the run succeeded).
+	Result *Result `json:"result,omitempty"`
+	// Err is the run's error message, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Aggregate summarizes one variant's runs.
+type Aggregate struct {
+	// Variant is the variant's resolved name.
+	Variant string `json:"variant"`
+	// Primitive is the primitive that ran.
+	Primitive string `json:"primitive"`
+	// Runs / Failures / Completed count the variant's runs, the runs
+	// that errored, and the runs whose goal predicate held.
+	Runs      int `json:"runs"`
+	Failures  int `json:"failures"`
+	Completed int `json:"completed"`
+	// Metrics maps each Result metric (see Result.Metrics) to its
+	// summary across the variant's successful runs.
+	Metrics map[string]Summary `json:"metrics"`
+}
+
+// SweepResult is the outcome of one sweep.
+type SweepResult struct {
+	// Aggregates holds one entry per variant, in variant order.
+	Aggregates []Aggregate `json:"aggregates"`
+	// Runs holds every run in deterministic (variant, index) order.
+	Runs []Run `json:"runs"`
+}
+
+// Sweep fans spec.Primitive out over spec.Seeds × spec.Variants on a
+// worker pool of spec.Workers goroutines. Scenarios are built once per
+// variant and shared read-only; per-run seeds are derived from
+// BaseSeed with rng.Split keyed by (variant, index), so results — and
+// therefore the aggregates — are byte-identical for any worker count.
+//
+// Cancellation: ctx is threaded into every primitive run (checked
+// before each simulated slot); when ctx is cancelled, Sweep abandons
+// unfinished work and returns ctx.Err().
+//
+// Individual run errors do not abort the sweep: they are recorded on
+// the Run and counted in the variant's Failures.
+func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	if spec.Primitive == nil {
+		return nil, fmt.Errorf("crn: sweep needs a primitive")
+	}
+	if len(spec.Variants) == 0 {
+		return nil, fmt.Errorf("crn: sweep needs at least one variant")
+	}
+	seeds := spec.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Resolve scenarios up front so configuration errors surface before
+	// any worker starts.
+	scenarios := make([]*Scenario, len(spec.Variants))
+	names := make([]string, len(spec.Variants))
+	for v, variant := range spec.Variants {
+		names[v] = variant.Name
+		if names[v] == "" {
+			names[v] = fmt.Sprintf("variant-%d", v)
+		}
+		switch {
+		case variant.Scenario != nil && variant.Options != nil:
+			return nil, fmt.Errorf("crn: variant %q sets both Scenario and Options", names[v])
+		case variant.Scenario != nil:
+			scenarios[v] = variant.Scenario
+		case variant.Options != nil:
+			s, err := New(variant.Options...)
+			if err != nil {
+				return nil, fmt.Errorf("crn: variant %q: %w", names[v], err)
+			}
+			scenarios[v] = s
+		default:
+			return nil, fmt.Errorf("crn: variant %q has neither Scenario nor Options", names[v])
+		}
+	}
+
+	// Deterministic per-run seeds, independent of scheduling: Split
+	// reads (not advances) the master state, keyed by (variant, index).
+	master := rng.New(spec.BaseSeed)
+	total := len(spec.Variants) * seeds
+	runs := make([]Run, total)
+	for v := range spec.Variants {
+		for i := 0; i < seeds; i++ {
+			job := v*seeds + i
+			runs[job] = Run{
+				Variant: names[v],
+				Index:   i,
+				Seed:    master.Split(uint64(v)<<32 | uint64(i)).Uint64(),
+			}
+		}
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				v := job / seeds
+				res, err := spec.Primitive.Run(ctx, scenarios[v], runs[job].Seed)
+				if err != nil {
+					runs[job].Err = err.Error()
+					continue
+				}
+				runs[job].Completed = res.Completed
+				runs[job].Metrics = res.Metrics()
+				if spec.KeepResults {
+					runs[job].Result = res
+				}
+			}
+		}()
+	}
+feed:
+	for job := 0; job < total; job++ {
+		select {
+		case jobs <- job:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Aggregate sequentially in variant order — the deterministic part.
+	aggs := make([]Aggregate, len(spec.Variants))
+	for v := range spec.Variants {
+		agg := Aggregate{
+			Variant:   names[v],
+			Primitive: spec.Primitive.Name(),
+			Metrics:   make(map[string]Summary),
+		}
+		samples := make(map[string][]float64)
+		for i := 0; i < seeds; i++ {
+			run := runs[v*seeds+i]
+			agg.Runs++
+			if run.Err != "" {
+				agg.Failures++
+				continue
+			}
+			if run.Completed {
+				agg.Completed++
+			}
+			for name, value := range run.Metrics {
+				samples[name] = append(samples[name], value)
+			}
+		}
+		keys := make([]string, 0, len(samples))
+		for name := range samples {
+			keys = append(keys, name)
+		}
+		sort.Strings(keys)
+		for _, name := range keys {
+			agg.Metrics[name] = stats.Summarize(samples[name])
+		}
+		aggs[v] = agg
+	}
+	return &SweepResult{Aggregates: aggs, Runs: runs}, nil
+}
