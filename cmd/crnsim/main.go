@@ -5,12 +5,19 @@
 // out over the crn.Sweep worker pool and the aggregate is printed
 // instead.
 //
+// Spectrum dynamics come from -preset (a named scenario preset:
+// quiet, urban-busy, bursty, adversarial-t) and/or -spectrum (an
+// explicit "+"-stacked model spec); both stack onto the scenario, so
+// primary traffic plus an adversary is one flag away.
+//
 // Examples:
 //
 //	crnsim -topology gnp -n 24 -c 8 -k 2 -algo cseek
 //	crnsim -topology star -n 17 -c 2 -k 1 -algo naive -json
 //	crnsim -topology chain -n 16 -c 4 -k 2 -algo cgcast
 //	crnsim -topology chain -n 16 -c 4 -k 2 -algo cgcast -seeds 16 -workers 4
+//	crnsim -n 16 -c 5 -k 2 -preset urban-busy -seeds 8
+//	crnsim -n 16 -c 5 -k 2 -spectrum "markov:0.05,0.15+adversary:2"
 package main
 
 import (
@@ -19,8 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"crn"
 )
@@ -46,18 +56,34 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		seeds    = fs.Int("seeds", 1, "number of runs; > 1 sweeps and prints the aggregate")
 		workers  = fs.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
+		preset   = fs.String("preset", "", "spectrum preset: "+strings.Join(crn.PresetNames(), ", "))
+		spec     = fs.String("spectrum", "", `spectrum models, "+"-stacked: periodic:<period>,<on> | markov:<pBusy>,<pFree> | poisson:<rate>,<hold> | adversary:<t>`)
 		asJSON   = fs.Bool("json", false, "print JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	scn, err := crn.New(
+	opts := []crn.ScenarioOption{
 		crn.WithTopology(crn.Topology(*topology)),
 		crn.WithNodes(*n),
 		crn.WithChannels(*c, *k, *kmax),
 		crn.WithSeed(*seed),
-	)
+	}
+	if *preset != "" {
+		p, err := crn.PresetByName(*preset)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, p.Options...)
+	}
+	specOpts, err := parseSpectrum(*spec, *seed)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, specOpts...)
+
+	scn, err := crn.New(opts...)
 	if err != nil {
 		return err
 	}
@@ -130,6 +156,10 @@ func run(args []string, w io.Writer) error {
 		if v.Broadcast != nil {
 			fmt.Fprintf(w, "detail:    %+v\n", *v.Broadcast)
 		}
+		if v.Spectrum != nil {
+			fmt.Fprintf(w, "spectrum:  listens=%d deliveries=%d collisions=%d jammedListens=%d\n",
+				v.Spectrum.Listens, v.Spectrum.Deliveries, v.Spectrum.Collisions, v.Spectrum.JammedListens)
+		}
 	case crn.Aggregate:
 		fmt.Fprintf(w, "runs:      %d (%d completed)\n", v.Runs, v.Completed)
 		names := make([]string, 0, len(v.Metrics))
@@ -142,4 +172,65 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseSpectrum turns a "+"-stacked -spectrum spec into scenario
+// options. Stochastic models derive their occupancy seed from the run
+// seed, so -seed reproduces the whole simulation including the primary
+// traffic.
+func parseSpectrum(spec string, seed uint64) ([]crn.ScenarioOption, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var opts []crn.ScenarioOption
+	for i, part := range strings.Split(spec, "+") {
+		model, argstr, _ := strings.Cut(strings.TrimSpace(part), ":")
+		// Decorrelate stacked stochastic models: each position gets its
+		// own occupancy seed, or same-seeded markov+poisson would draw
+		// byte-identical per-channel random sequences.
+		modelSeed := seed + uint64(i)*0x9E3779B97F4A7C15
+		var args []float64
+		if argstr != "" && model != "adversary" {
+			for _, a := range strings.Split(argstr, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+				if err != nil {
+					return nil, fmt.Errorf("spectrum spec %q: bad number %q", part, a)
+				}
+				args = append(args, v)
+			}
+		}
+		switch model {
+		case "periodic":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("spectrum spec %q: want periodic:<period>,<onSlots>", part)
+			}
+			if args[0] != math.Trunc(args[0]) || args[1] != math.Trunc(args[1]) {
+				return nil, fmt.Errorf("spectrum spec %q: periodic slot counts must be integers", part)
+			}
+			opts = append(opts, crn.WithPeriodicPrimaryUsers(int64(args[0]), int64(args[1])))
+		case "markov":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("spectrum spec %q: want markov:<pBusy>,<pFree>", part)
+			}
+			opts = append(opts, crn.WithMarkovPrimaryUsers(args[0], args[1], 0, modelSeed))
+		case "poisson":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("spectrum spec %q: want poisson:<rate>,<meanHold>", part)
+			}
+			opts = append(opts, crn.WithPoissonPrimaryUsers(args[0], args[1], 0, modelSeed))
+		case "adversary":
+			t := 0
+			if argstr != "" {
+				v, err := strconv.Atoi(strings.TrimSpace(argstr))
+				if err != nil {
+					return nil, fmt.Errorf("spectrum spec %q: want adversary:<t> with integer t", part)
+				}
+				t = v
+			}
+			opts = append(opts, crn.WithAdversary(t))
+		default:
+			return nil, fmt.Errorf("spectrum spec %q: unknown model (have periodic, markov, poisson, adversary)", part)
+		}
+	}
+	return opts, nil
 }

@@ -46,6 +46,65 @@ func TestRunDiscoveryScenarios(t *testing.T) {
 	}
 }
 
+func TestParseSpectrum(t *testing.T) {
+	good := []string{
+		"",
+		"none",
+		"periodic:40,12",
+		"markov:0.05,0.15",
+		"poisson:0.01,25",
+		"adversary:2",
+		"adversary",
+		"markov:0.05,0.15+adversary:2",
+		"periodic:40,12+poisson:0.01,25+adversary:1",
+	}
+	for _, spec := range good {
+		if _, err := parseSpectrum(spec, 1); err != nil {
+			t.Errorf("parseSpectrum(%q): %v", spec, err)
+		}
+	}
+	bad := []string{
+		"plasma:1",
+		"markov:0.05",
+		"markov:a,b",
+		"periodic:40",
+		"poisson:0.01,25,9",
+		"adversary:1,2",
+		"adversary:0.5",
+		"adversary:x",
+		"periodic:40.5,12",
+	}
+	for _, spec := range bad {
+		if _, err := parseSpectrum(spec, 1); err == nil {
+			t.Errorf("parseSpectrum(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRunPresetAndSpectrumFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	if err := run([]string{"-preset", "nope"}, io.Discard); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run([]string{"-spectrum", "plasma:1"}, io.Discard); err == nil {
+		t.Error("unknown spectrum model accepted")
+	}
+	var sb strings.Builder
+	args := []string{"-topology", "gnp", "-n", "10", "-c", "4", "-k", "2",
+		"-preset", "urban-busy", "-spectrum", "adversary:1"}
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(sb.String(), "jammedListens=") {
+		t.Errorf("output missing spectrum accounting:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "jammedListens=0\n") {
+		t.Errorf("urban-busy + adversary jammed nothing:\n%s", sb.String())
+	}
+}
+
 // TestRunSweep exercises the -seeds fan-out: the CLI must print the
 // sweep aggregate instead of a single Result, and two worker counts
 // must produce the identical report (the sweep determinism contract).

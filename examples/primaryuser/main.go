@@ -36,7 +36,19 @@ func main() {
 		{name: "40% fast bursts", opts: []crn.ScenarioOption{crn.WithPeriodicPrimaryUsers(40, 16)}},
 		// Bursty Markov primary users (occupancy ≈ 1/6).
 		{name: "Markov bursts", opts: []crn.ScenarioOption{crn.WithMarkovPrimaryUsers(0.01, 0.05, 0, 77)}},
+		// Poisson arrivals with long geometric holds: rarer, heavier
+		// outages at a similar mean occupancy.
+		{name: "Poisson holds", opts: []crn.ScenarioOption{crn.WithPoissonPrimaryUsers(0.008, 25, 0, 77)}},
+		// Spectrum options stack: Markov primary traffic plus the
+		// paper's t-bounded reactive adversary (t = 1 channel/slot).
+		{name: "Markov+adversary", opts: []crn.ScenarioOption{
+			crn.WithMarkovPrimaryUsers(0.01, 0.05, 0, 77),
+			crn.WithAdversary(1),
+		}},
 	}
+	// The same regimes are available pre-packaged: crn.Presets() names
+	// quiet / urban-busy / bursty / adversarial-t bundles, and
+	// `crnsim -preset urban-busy` runs them from the CLI.
 
 	ctx := context.Background()
 	for i, regime := range regimes {
@@ -51,8 +63,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-16s %3d/%3d pairs, complete at slot %d\n", regime.name+":",
-			res.Discovery.PairsDiscovered, res.Discovery.PairsTotal, res.CompletedAtSlot)
+		fmt.Printf("%-17s %3d/%3d pairs, complete at slot %d, jammed listens %d\n", regime.name+":",
+			res.Discovery.PairsDiscovered, res.Discovery.PairsTotal, res.CompletedAtSlot,
+			res.Spectrum.JammedListens)
 	}
 
 	fmt.Println("\nCSEEK assumes nothing about spectrum beyond the k shared channels,")

@@ -1,0 +1,148 @@
+package crn
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crn/internal/trace"
+)
+
+// Golden-trace regression tests: every preset × primitive pair below
+// has a committed delivery trace (testdata/golden/*.jsonl) recorded at
+// a fixed seed, and runs must reproduce it byte for byte. Any change
+// to RNG consumption order, engine resolution, jammer schedules or
+// scheduling (the PR 1 CGCAST map-iteration bug was exactly such a
+// regression) shows up here as a trace diff. Regenerate deliberately
+// with:
+//
+//	go test . -run TestGoldenTraces -update
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+const goldenSeed = 99
+
+// goldenScenario is deliberately tiny: traces must stay reviewable and
+// cheap to diff, while still exercising multi-hop topology, channel
+// contention and every spectrum model.
+func goldenScenario(t *testing.T, preset string, rec *trace.Recorder) *Scenario {
+	t.Helper()
+	opts := []ScenarioOption{
+		WithTopology(GNP),
+		WithNodes(7),
+		WithChannels(3, 2, 0),
+		WithSeed(17),
+		// Cut the schedule constants so committed traces stay a few
+		// hundred events: golden traces pin determinism, not the w.h.p.
+		// completion guarantees (the statistical suite covers those).
+		WithTuning(Tuning{
+			CountSlotsPerRound: 4,
+			CountMinRoundSlots: 16,
+			P1Steps:            1,
+			P2Steps:            1,
+			ColoringPhases:     2,
+			DissemRounds:       1,
+		}),
+		WithDeliveryTrace(func(slot int64, listener, sender, channel int) {
+			rec.Record(trace.Event{
+				Slot:     slot,
+				Listener: int32(listener),
+				Sender:   int32(sender),
+				Channel:  int32(channel),
+			})
+		}),
+	}
+	s, err := New(presetOptions(t, preset, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGoldenTraces(t *testing.T) {
+	prims := []struct {
+		name string
+		p    Primitive
+	}{
+		{"cseek", Discovery(CSeek)},
+		{"cgcast", GlobalBroadcast(0, "message")},
+	}
+	for _, preset := range []string{PresetQuiet, PresetUrbanBusy, PresetBursty, PresetAdversarial} {
+		for _, prim := range prims {
+			t.Run(preset+"/"+prim.name, func(t *testing.T) {
+				rec := &trace.Recorder{}
+				s := goldenScenario(t, preset, rec)
+				if _, err := prim.p.Run(context.Background(), s, goldenSeed); err != nil {
+					t.Fatal(err)
+				}
+				if rec.Len() == 0 {
+					t.Fatal("run produced no deliveries — golden trace would be vacuous")
+				}
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.jsonl", preset, prim.name))
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					f, err := os.Create(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := rec.WriteJSONL(f); err != nil {
+						t.Fatal(err)
+					}
+					if err := f.Close(); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("rewrote %s (%d events)", path, rec.Len())
+					return
+				}
+				f, err := os.Open(path)
+				if err != nil {
+					t.Fatalf("%v (run `go test . -run TestGoldenTraces -update` to record)", err)
+				}
+				defer f.Close()
+				want, err := trace.ReadJSONL(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := rec.Events()
+				if !trace.Equal(got, want) {
+					i := 0
+					for i < len(got) && i < len(want) && got[i] == want[i] {
+						i++
+					}
+					diff := "trailing events differ in count"
+					switch {
+					case i < len(got) && i < len(want):
+						diff = fmt.Sprintf("first divergence at event %d: got %+v, want %+v", i, got[i], want[i])
+					case i < len(got):
+						diff = fmt.Sprintf("extra event %d: %+v", i, got[i])
+					case i < len(want):
+						diff = fmt.Sprintf("missing event %d: %+v", i, want[i])
+					}
+					t.Errorf("trace diverged from %s (%d vs %d events): %s", path, len(got), len(want), diff)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenTraceRunsAreRepeatable guards the guard: two back-to-back
+// runs of the same (preset, primitive, seed) produce identical traces
+// even without consulting the committed files — if this fails the
+// golden files can never be stable.
+func TestGoldenTraceRunsAreRepeatable(t *testing.T) {
+	record := func() []trace.Event {
+		rec := &trace.Recorder{}
+		s := goldenScenario(t, PresetAdversarial, rec)
+		if _, err := GlobalBroadcast(0, "message").Run(context.Background(), s, goldenSeed); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events()
+	}
+	if !trace.Equal(record(), record()) {
+		t.Fatal("same-seed runs produced different traces")
+	}
+}

@@ -100,6 +100,13 @@ type BroadcastResult struct {
 	// ColoringValid reports whether the realized edge coloring is
 	// proper on the colored subgraph.
 	ColoringValid bool
+	// Radio accumulates engine counters over the stages that ran in the
+	// radio model: dissemination always, plus the setup exchanges in
+	// ExchangeFull mode. Spectrum accounting (jammed listener-slots)
+	// lives here. Radio.Completed reports whether every such engine run
+	// finished its schedule (stage failures surface as errors before a
+	// result exists, so it is true on any returned result).
+	Radio radio.Stats
 }
 
 // edgeKey identifies an undirected edge by its endpoints, U < V.
@@ -177,7 +184,13 @@ func RunCGCastCtx(ctx context.Context, nw *radio.Network, cfg BroadcastConfig) (
 		AllInformed:         dres.AllInformed,
 		Informed:            dres.Informed,
 		ColoringPhases:      session.phases,
+		Radio:               session.setupRadio,
 	}
+	res.Radio.Accumulate(dres.Radio)
+	// Every contributing engine run completed or we would have errored
+	// out above; Accumulate leaves Completed alone, so set it from the
+	// dissemination run.
+	res.Radio.Completed = dres.Radio.Completed
 	session.fillColoringStats(res)
 	return res, nil
 }
@@ -205,6 +218,7 @@ type BroadcastSession struct {
 	edges      []map[edgeKey]*edgeState
 	dropped    map[edgeKey]bool
 	setupSlots int64
+	setupRadio radio.Stats
 	phases     int
 	// schedules[u] maps color -> u's local dedicated channel (-1 when
 	// none), precomputed once: every dissemination reuses it read-only.
@@ -276,6 +290,9 @@ type DissemResult struct {
 	AllInformed bool
 	// Informed[u] reports whether node u held the message at the end.
 	Informed []bool
+	// Radio holds the dissemination engine's counters (deliveries,
+	// collisions, jammed listener-slots).
+	Radio radio.Stats
 }
 
 type cgcastDriver struct {
@@ -295,7 +312,8 @@ type cgcastDriver struct {
 	dropped map[edgeKey]bool
 
 	setupSlots int64
-	stage      int // monotone counter used for RNG stream separation
+	setupRadio radio.Stats // engine counters of full-mode exchanges
+	stage      int         // monotone counter used for RNG stream separation
 }
 
 // edgeState is one endpoint's view of an incident edge.
@@ -334,6 +352,7 @@ func (d *cgcastDriver) prepare() (*BroadcastSession, error) {
 		edges:      d.edges,
 		dropped:    d.dropped,
 		setupSlots: d.setupSlots,
+		setupRadio: d.setupRadio,
 		phases:     phases,
 	}
 	s.buildSchedules()
@@ -736,6 +755,7 @@ func (d *cgcastDriver) runEngine(protos []radio.Protocol) error {
 	if !st.Completed {
 		return fmt.Errorf("core: exchange stage did not complete in %d slots", d.exchangeSlots)
 	}
+	d.setupRadio.Accumulate(st)
 	d.setupSlots += d.exchangeSlots
 	return nil
 }
@@ -879,6 +899,7 @@ func (s *BroadcastSession) DisseminateCtx(ctx context.Context, dD int, source ra
 		AllInformedAt: allInformedAt,
 		AllInformed:   true,
 		Informed:      make([]bool, s.n),
+		Radio:         st,
 	}
 	for u, dp := range dps {
 		res.Informed[u] = dp.informed

@@ -112,6 +112,9 @@ type FloodResult struct {
 	AllInformed bool
 	// Informed[u] reports whether node u held the message at the end.
 	Informed []bool
+	// Radio holds the engine's counters (deliveries, collisions,
+	// jammed listener-slots).
+	Radio radio.Stats
 }
 
 // RunFloodCtx is RunFlood with cooperative cancellation (ctx is
@@ -143,7 +146,7 @@ func RunFloodCtx(ctx context.Context, nw *radio.Network, p Params, d int, source
 		return nil, err
 	}
 	var doneAt int64 = -1
-	if _, err := e.RunUntilCtx(ctx, floods[0].TotalSlots()+1, func(slot int64) bool {
+	st, err := e.RunUntilCtx(ctx, floods[0].TotalSlots()+1, func(slot int64) bool {
 		for _, fl := range floods {
 			if !fl.Informed() {
 				return false
@@ -151,7 +154,8 @@ func RunFloodCtx(ctx context.Context, nw *radio.Network, p Params, d int, source
 		}
 		doneAt = slot
 		return true
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
 	res := &FloodResult{
@@ -159,6 +163,7 @@ func RunFloodCtx(ctx context.Context, nw *radio.Network, p Params, d int, source
 		AllInformedAt: doneAt,
 		AllInformed:   true,
 		Informed:      make([]bool, n),
+		Radio:         st,
 	}
 	for u, fl := range floods {
 		res.Informed[u] = fl.Informed()

@@ -65,6 +65,7 @@ func All() []Definition {
 		{ID: "E14", Title: "Rendezvous vs contention", Claim: "Section 2: meetings alone do not solve discovery", Run: E14Rendezvous},
 		{ID: "E15", Title: "Staggered starts", Claim: "Extension: sensitivity to the synchronous-start assumption", Run: E15AsyncStart},
 		{ID: "E16", Title: "Setup amortization", Claim: "Theorem 9 corollary: one setup, many broadcasts", Run: E16Amortization},
+		{ID: "E17", Title: "Poisson vs Markov primary traffic", Claim: "Chaoub–Ibn-Elhaj: burst shape changes completion at matched occupancy", Run: E17TrafficModels},
 	}
 }
 

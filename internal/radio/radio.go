@@ -86,6 +86,19 @@ type Stats struct {
 	Completed bool
 }
 
+// Accumulate adds o's slot and counter fields into s — the helper
+// multi-engine pipelines (CGCAST's setup stages plus dissemination)
+// use to report one combined Stats. Completed is left untouched.
+func (s *Stats) Accumulate(o Stats) {
+	s.Slots += o.Slots
+	s.Broadcasts += o.Broadcasts
+	s.Listens += o.Listens
+	s.Idles += o.Idles
+	s.Deliveries += o.Deliveries
+	s.Collisions += o.Collisions
+	s.JammedListens += o.JammedListens
+}
+
 // TraceFunc observes every delivery the engine resolves, for debugging
 // and the crntrace tool. It runs on the engine goroutine.
 type TraceFunc func(slot int64, listener NodeID, globalCh int32, msg *Message)
@@ -100,12 +113,31 @@ type Jammer interface {
 	Jammed(slot int64, ch int32) bool
 }
 
+// ActivitySink is optionally implemented by Jammers that react to
+// secondary-user activity (adversarial models). After every slot
+// resolves, the engine calls ObserveActivity exactly once from its
+// sequential section with the number of broadcasts per global channel
+// for that slot. The slice is a scratch buffer the engine reuses;
+// implementations must copy what they keep. Because the engine only
+// queries Jammed for slots after the latest ObserveActivity call's
+// slot, reactive jammers see activity with at least a one-slot delay —
+// the adversary can sense, but not react within a slot.
+type ActivitySink interface {
+	ObserveActivity(slot int64, broadcastsByChannel []int)
+}
+
 // Network bundles the static instance a protocol runs on.
 type Network struct {
 	Graph  *graph.Graph
 	Assign *chanassign.Assignment
 	// Jammer optionally models primary users; nil means clear spectrum.
+	// A Jammer that also implements ActivitySink receives per-slot
+	// activity reports.
 	Jammer Jammer
+	// Trace optionally observes every delivery the engines resolve;
+	// Engine.SetTrace overrides it. Like SetTrace callbacks it may run
+	// concurrently under RunParallel.
+	Trace TraceFunc
 }
 
 // Validate checks the graph/assignment pair is consistent.
@@ -133,6 +165,11 @@ type Engine struct {
 	nDone    int
 	slot     int64
 	stats    Stats
+
+	// activity feed for reactive jammers (nil when the jammer is not an
+	// ActivitySink): broadcast count per global channel, reused per slot.
+	sink     ActivitySink
+	activity []int
 }
 
 // NewEngine constructs an engine for the given network and per-node
@@ -145,13 +182,19 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(protocols), nw.Graph.N())
 	}
 	n := nw.Graph.N()
-	return &Engine{
+	e := &Engine{
 		nw:        nw,
 		protocols: protocols,
 		actions:   make([]Action, n),
 		globalCh:  make([]int32, n),
 		done:      make([]bool, n),
-	}, nil
+		trace:     nw.Trace,
+	}
+	if sink, ok := nw.Jammer.(ActivitySink); ok {
+		e.sink = sink
+		e.activity = make([]int, nw.Assign.Universe)
+	}
+	return e, nil
 }
 
 // SetTrace installs a delivery trace callback (nil to disable).
@@ -273,7 +316,8 @@ func (e *Engine) RunParallel(maxSlots int64, workers int) Stats {
 			e.stats.Collisions += sub[i].Collisions
 			e.stats.JammedListens += sub[i].JammedListens
 		}
-		// Phase 3: completion scan (cheap, sequential).
+		// Phase 3: activity feed + completion scan (cheap, sequential).
+		e.feedActivity()
 		e.refreshDone()
 		e.slot++
 		e.stats.Slots = e.slot
@@ -286,7 +330,29 @@ func (e *Engine) RunParallel(maxSlots int64, workers int) Stats {
 func (e *Engine) step(lo, hi int) {
 	e.collectActions(lo, hi)
 	e.resolveAndObserve(lo, hi, &e.stats)
+	e.feedActivity()
 	e.refreshDone()
+}
+
+// feedActivity reports the slot's broadcast counts per global channel
+// to a reactive jammer. It runs in the engines' sequential sections
+// (after the slot resolves, before the next slot's Jammed queries), so
+// Run and RunParallel feed identical sequences.
+func (e *Engine) feedActivity() {
+	if e.sink == nil {
+		return
+	}
+	for ch := range e.activity {
+		e.activity[ch] = 0
+	}
+	for u := range e.actions {
+		if e.actions[u].Kind == Broadcast {
+			if ch := e.globalCh[u]; ch >= 0 && int(ch) < len(e.activity) {
+				e.activity[ch]++
+			}
+		}
+	}
+	e.sink.ObserveActivity(e.slot, e.activity)
 }
 
 func (e *Engine) collectActions(lo, hi int) {

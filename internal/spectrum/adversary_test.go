@@ -1,0 +1,115 @@
+package spectrum
+
+import (
+	"testing"
+
+	"crn/internal/rng"
+)
+
+func jammedChannels(j Jammer, slot int64, universe int) []int32 {
+	var out []int32
+	for ch := 0; ch < universe; ch++ {
+		if j.Jammed(slot, int32(ch)) {
+			out = append(out, int32(ch))
+		}
+	}
+	return out
+}
+
+func TestAdversaryZeroValueAndZeroBudget(t *testing.T) {
+	var a ReactiveAdversary // zero value: T = 0, no observations
+	if a.Jammed(0, 0) || a.Jammed(5, 3) {
+		t.Error("zero-value adversary jammed")
+	}
+	b := NewReactiveAdversary(0)
+	b.ObserveActivity(0, []int{3, 1, 2})
+	if got := jammedChannels(b, 1, 3); len(got) != 0 {
+		t.Errorf("budget-0 adversary jammed %v", got)
+	}
+}
+
+func TestAdversaryJamsBusiestWithDelay(t *testing.T) {
+	a := NewReactiveAdversary(2)
+	// Slot 0: channel 2 busiest, then 0.
+	a.ObserveActivity(0, []int{2, 1, 5, 0})
+	if got := jammedChannels(a, 0, 4); len(got) != 0 {
+		t.Errorf("adversary jammed observation slot itself: %v", got)
+	}
+	got := jammedChannels(a, 1, 4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("slot 1 jam set = %v, want [0 2]", got)
+	}
+	// The target set applies to slot 1 only.
+	if a.Jammed(2, 2) {
+		t.Error("stale target set used for a later slot")
+	}
+	// Tie between channels 1 and 3 breaks toward the lower index.
+	a.ObserveActivity(1, []int{0, 4, 0, 4, 4})
+	got = jammedChannels(a, 2, 5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("tie-break jam set = %v, want [1 3]", got)
+	}
+}
+
+func TestAdversaryIgnoresIdleChannels(t *testing.T) {
+	a := NewReactiveAdversary(8)
+	a.ObserveActivity(0, []int{0, 2, 0, 0, 1})
+	got := jammedChannels(a, 1, 5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("jam set = %v, want only active channels [1 4]", got)
+	}
+}
+
+func TestAdversaryNewRunResetsState(t *testing.T) {
+	a := NewReactiveAdversary(3)
+	a.ObserveActivity(7, []int{1, 1, 1})
+	fresh, ok := a.NewRun().(*ReactiveAdversary)
+	if !ok {
+		t.Fatal("NewRun did not return a ReactiveAdversary")
+	}
+	if fresh.T != 3 {
+		t.Errorf("NewRun budget = %d, want 3", fresh.T)
+	}
+	if got := jammedChannels(fresh, 8, 3); len(got) != 0 {
+		t.Errorf("fresh run inherited jam state: %v", got)
+	}
+	// The original keeps its state.
+	if got := jammedChannels(a, 8, 3); len(got) != 3 {
+		t.Errorf("original lost jam state: %v", got)
+	}
+}
+
+// TestAdversaryDeterministicReplay: feeding the same activity sequence
+// twice yields identical jam decisions — the determinism contract
+// run-scoped jammers must uphold.
+func TestAdversaryDeterministicReplay(t *testing.T) {
+	const universe, slots, budget = 6, 200, 2
+	r := rng.New(11)
+	feed := make([][]int, slots)
+	for s := range feed {
+		feed[s] = make([]int, universe)
+		for ch := range feed[s] {
+			feed[s][ch] = r.Intn(4)
+		}
+	}
+	replay := func() [][]int32 {
+		a := NewReactiveAdversary(budget)
+		out := make([][]int32, slots)
+		for s := 0; s < slots; s++ {
+			a.ObserveActivity(int64(s), feed[s])
+			out[s] = jammedChannels(a, int64(s)+1, universe)
+		}
+		return out
+	}
+	x, y := replay(), replay()
+	for s := range x {
+		if len(x[s]) != len(y[s]) {
+			t.Fatalf("slot %d: replay diverged: %v vs %v", s, x[s], y[s])
+		}
+		for i := range x[s] {
+			if x[s][i] != y[s][i] {
+				t.Fatalf("slot %d: replay diverged: %v vs %v", s, x[s], y[s])
+			}
+		}
+	}
+}

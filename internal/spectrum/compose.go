@@ -1,0 +1,92 @@
+package spectrum
+
+// activitySink mirrors the radio engine's activity-feed contract
+// structurally (the engine defines its own copy — radio and spectrum
+// do not import each other): the engine calls ObserveActivity once per
+// slot with the broadcast count per global channel.
+type activitySink interface {
+	ObserveActivity(slot int64, broadcastsByChannel []int)
+}
+
+// Compose unions jammers: the composite jams a (slot, channel) iff any
+// member does, which is how scenarios stack primary traffic with an
+// adversary (Section 3's model allows both at once). None members and
+// nils are dropped and nested composites are flattened, so
+// Compose(None{}, j) is exactly j and Compose() is None{}. The
+// composite forwards engine activity reports to every member that
+// listens for them and is run-scoped whenever any member is.
+func Compose(jammers ...Jammer) Jammer {
+	var members []Jammer
+	for _, j := range jammers {
+		switch m := j.(type) {
+		case nil, None:
+			continue
+		case *composite:
+			members = append(members, m.members...)
+		case *sinkComposite:
+			members = append(members, m.members...)
+		default:
+			members = append(members, j)
+		}
+	}
+	switch len(members) {
+	case 0:
+		return None{}
+	case 1:
+		return members[0]
+	}
+	// Only grow an ObserveActivity method when some member actually
+	// consumes activity — otherwise the engine would pay for per-slot
+	// activity accounting nobody reads.
+	for _, j := range members {
+		if _, ok := j.(activitySink); ok {
+			return &sinkComposite{composite{members: members}}
+		}
+	}
+	return &composite{members: members}
+}
+
+type composite struct {
+	members []Jammer
+}
+
+// sinkComposite is a composite with at least one activity-consuming
+// member; only this variant presents ObserveActivity to the engine.
+type sinkComposite struct {
+	composite
+}
+
+// Jammed implements Jammer.
+func (c *composite) Jammed(slot int64, ch int32) bool {
+	for _, j := range c.members {
+		if j.Jammed(slot, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveActivity forwards the engine's activity report to every
+// member that consumes it.
+func (c *sinkComposite) ObserveActivity(slot int64, broadcastsByChannel []int) {
+	for _, j := range c.members {
+		if sink, ok := j.(activitySink); ok {
+			sink.ObserveActivity(slot, broadcastsByChannel)
+		}
+	}
+}
+
+// NewRun implements RunScoped: stateful members are re-instantiated,
+// stateless ones shared. Rebuilding through Compose keeps the
+// sink/non-sink variant choice consistent with the fresh members.
+func (c *composite) NewRun() Jammer {
+	fresh := make([]Jammer, len(c.members))
+	for i, j := range c.members {
+		if rs, ok := j.(RunScoped); ok {
+			fresh[i] = rs.NewRun()
+		} else {
+			fresh[i] = j
+		}
+	}
+	return Compose(fresh...)
+}

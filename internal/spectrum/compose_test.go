@@ -1,0 +1,119 @@
+package spectrum
+
+import "testing"
+
+func TestComposeEmptyAndNoneCollapse(t *testing.T) {
+	if _, ok := Compose().(None); !ok {
+		t.Error("Compose() is not None")
+	}
+	if _, ok := Compose(None{}, nil, None{}).(None); !ok {
+		t.Error("Compose of Nones is not None")
+	}
+	p, err := NewPeriodic(10, 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Compose(None{}, p); got != Jammer(p) {
+		t.Error("Compose(None, j) did not collapse to j")
+	}
+}
+
+func TestComposeUnions(t *testing.T) {
+	a, err := NewPeriodic(4, 1, 0, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPeriodic(4, 2, 0, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compose(a, b)
+	for s := int64(0); s < 16; s++ {
+		for ch := int32(0); ch < 3; ch++ {
+			want := a.Jammed(s, ch) || b.Jammed(s, ch)
+			if got := c.Jammed(s, ch); got != want {
+				t.Fatalf("Compose.Jammed(%d,%d) = %v, want %v", s, ch, got, want)
+			}
+		}
+	}
+}
+
+func TestComposeFlattens(t *testing.T) {
+	a, _ := NewPeriodic(4, 1, 0, []int32{0})
+	b, _ := NewPeriodic(4, 1, 0, []int32{1})
+	c, _ := NewPeriodic(4, 1, 0, []int32{2})
+	nested := Compose(Compose(a, b), c)
+	comp, ok := nested.(*composite)
+	if !ok {
+		t.Fatalf("Compose did not produce a composite: %T", nested)
+	}
+	if len(comp.members) != 3 {
+		t.Errorf("nested composite has %d members, want 3 (flattened)", len(comp.members))
+	}
+	// Sink members flatten the same way and keep the sink variant.
+	withSink := Compose(nested, NewReactiveAdversary(1))
+	sc, ok := withSink.(*sinkComposite)
+	if !ok {
+		t.Fatalf("Compose with a sink member produced %T, want *sinkComposite", withSink)
+	}
+	if len(sc.members) != 4 {
+		t.Errorf("sink composite has %d members, want 4 (flattened)", len(sc.members))
+	}
+}
+
+// TestComposeSinkVariantOnlyWhenNeeded: a composite of pure-function
+// jammers must not present ObserveActivity to the engine — per-slot
+// activity accounting is only paid when someone reads it.
+func TestComposeSinkVariantOnlyWhenNeeded(t *testing.T) {
+	a, _ := NewPeriodic(4, 1, 0, []int32{0})
+	b, _ := NewPeriodic(4, 1, 0, []int32{1})
+	if _, ok := Compose(a, b).(activitySink); ok {
+		t.Error("sink-free composite presents ObserveActivity")
+	}
+	if _, ok := Compose(a, NewReactiveAdversary(1)).(activitySink); !ok {
+		t.Error("composite with adversary member lost ObserveActivity")
+	}
+}
+
+func TestComposeForwardsActivityAndRunScoping(t *testing.T) {
+	// The periodic member only touches channel 0, so channel 1 isolates
+	// the adversary's behavior.
+	p, err := NewPeriodic(10, 3, 0, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewReactiveAdversary(1)
+	c := Compose(p, adv)
+
+	sink, ok := c.(activitySink)
+	if !ok {
+		t.Fatal("composite with adversary member is not an activity sink")
+	}
+	sink.ObserveActivity(0, []int{0, 7})
+	if !c.Jammed(1, 1) {
+		t.Error("activity report did not reach the adversary member")
+	}
+
+	rs, ok := c.(RunScoped)
+	if !ok {
+		t.Fatal("composite with stateful member is not RunScoped")
+	}
+	fresh := rs.NewRun()
+	if fresh.Jammed(1, 1) {
+		t.Error("NewRun composite inherited adversary state")
+	}
+	// Stateless members are shared, and periodic jamming still applies.
+	if !fresh.Jammed(0, 0) {
+		t.Error("NewRun composite lost the periodic member")
+	}
+	fc, ok := fresh.(*sinkComposite)
+	if !ok {
+		t.Fatalf("NewRun returned %T, want *sinkComposite", fresh)
+	}
+	if fc.members[0] != Jammer(p) {
+		t.Error("stateless member was re-instantiated instead of shared")
+	}
+	if fc.members[1] == Jammer(adv) {
+		t.Error("stateful member was shared instead of re-instantiated")
+	}
+}

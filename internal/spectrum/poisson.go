@@ -1,0 +1,131 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+
+	"crn/internal/bitset"
+	"crn/internal/rng"
+)
+
+// HoldKind selects the holding-time distribution of a Poisson primary
+// user: how long a transmission occupies its channel once it arrives.
+type HoldKind int
+
+// Holding-time distributions.
+const (
+	// HoldGeometric draws each holding time from a geometric
+	// distribution with the configured mean (memoryless departures —
+	// the M/M-style primary of Chaoub & Ibn-Elhaj).
+	HoldGeometric HoldKind = iota + 1
+	// HoldFixed occupies the channel for exactly ceil(mean) slots per
+	// arrival (deterministic service).
+	HoldFixed
+)
+
+// Poisson models primary users as a discretized Poisson arrival
+// process per channel: in every slot an arrival occurs with
+// probability 1-exp(-rate), and each arrival holds the channel for a
+// geometric or fixed number of slots. Overlapping transmissions merge
+// into one busy period. Schedules are precomputed deterministically per
+// (seed, channel) via rng.Split, so the same parameters always yield
+// the same occupancy trajectory. Beyond the horizon channels are
+// reported idle.
+type Poisson struct {
+	horizon int64
+	sched   []*bitset.Set // per channel, bit s = occupied in slot s
+}
+
+// maxHorizon bounds precomputed schedules (64 Mi slots ≈ 8 MiB of
+// bitset per channel universe); shared by Markov and Poisson.
+const maxHorizon = 1 << 26
+
+// NewPoisson precomputes a Poisson on/off occupancy schedule for the
+// given number of global channels over horizon slots. rate is the
+// expected number of arrivals per slot (≥ 0); meanHold the mean
+// holding time in slots (≥ 1); hold selects the holding distribution
+// (zero value means HoldGeometric).
+func NewPoisson(channels int, horizon int64, rate, meanHold float64, hold HoldKind, seed uint64) (*Poisson, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("spectrum: need at least one channel, got %d", channels)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("spectrum: horizon must be >= 1, got %d", horizon)
+	}
+	if horizon > maxHorizon {
+		return nil, fmt.Errorf("spectrum: horizon %d too large to precompute", horizon)
+	}
+	if math.IsNaN(rate) || rate < 0 {
+		return nil, fmt.Errorf("spectrum: arrival rate must be >= 0, got %v", rate)
+	}
+	if math.IsNaN(meanHold) || meanHold < 1 {
+		return nil, fmt.Errorf("spectrum: mean holding time must be >= 1 slot, got %v", meanHold)
+	}
+	switch hold {
+	case HoldGeometric, HoldFixed:
+	case 0:
+		hold = HoldGeometric
+	default:
+		return nil, fmt.Errorf("spectrum: unknown holding kind %d", hold)
+	}
+	pArrive := 1 - math.Exp(-rate)
+	master := rng.New(seed)
+	p := &Poisson{horizon: horizon, sched: make([]*bitset.Set, channels)}
+	for ch := 0; ch < channels; ch++ {
+		r := master.Split(uint64(ch))
+		sched := bitset.New(int(horizon))
+		busyUntil := int64(0) // busy while slot < busyUntil
+		for slot := int64(0); slot < horizon; slot++ {
+			if busyUntil >= horizon {
+				// Busy through the horizon: every remaining bit is
+				// already determined and further arrival/holding draws
+				// could only extend busyUntil past slots we never
+				// report, so skip them. The schedule is identical to
+				// drawing it out, but construction stays O(horizon)
+				// even for extreme rate/hold parameters.
+				for ; slot < horizon; slot++ {
+					sched.Add(int(slot))
+				}
+				break
+			}
+			if r.Bernoulli(pArrive) {
+				if end := slot + holdingTime(r, meanHold, hold, horizon); end > busyUntil {
+					busyUntil = end
+				}
+			}
+			if slot < busyUntil {
+				sched.Add(int(slot))
+			}
+		}
+		p.sched[ch] = sched
+	}
+	return p, nil
+}
+
+// holdingTime draws one holding time in slots (≥ 1), capped at horizon
+// so degenerate means cannot spin the precompute loop.
+func holdingTime(r *rng.Source, mean float64, kind HoldKind, horizon int64) int64 {
+	if kind == HoldFixed {
+		h := int64(math.Ceil(mean))
+		if h > horizon {
+			h = horizon
+		}
+		return h
+	}
+	// Geometric with mean `mean`: keep holding with probability
+	// 1 - 1/mean each slot.
+	pStay := 1 - 1/mean
+	h := int64(1)
+	for h < horizon && r.Bernoulli(pStay) {
+		h++
+	}
+	return h
+}
+
+// Jammed implements Jammer.
+func (p *Poisson) Jammed(slot int64, ch int32) bool {
+	if slot < 0 || slot >= p.horizon || int(ch) < 0 || int(ch) >= len(p.sched) {
+		return false
+	}
+	return p.sched[ch].Contains(int(slot))
+}

@@ -1,0 +1,119 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		channels int
+		horizon  int64
+		rate     float64
+		hold     float64
+		kind     HoldKind
+	}{
+		{"zero channels", 0, 100, 0.1, 5, HoldGeometric},
+		{"zero horizon", 2, 0, 0.1, 5, HoldGeometric},
+		{"huge horizon", 2, 1 << 30, 0.1, 5, HoldGeometric},
+		{"negative rate", 2, 100, -0.1, 5, HoldGeometric},
+		{"NaN rate", 2, 100, math.NaN(), 5, HoldGeometric},
+		{"sub-slot hold", 2, 100, 0.1, 0.5, HoldGeometric},
+		{"NaN hold", 2, 100, 0.1, math.NaN(), HoldFixed},
+		{"bad hold kind", 2, 100, 0.1, 5, HoldKind(99)},
+	}
+	for _, tc := range cases {
+		if _, err := NewPoisson(tc.channels, tc.horizon, tc.rate, tc.hold, tc.kind, 1); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	if _, err := NewPoisson(2, 100, 0.1, 5, 0, 1); err != nil {
+		t.Errorf("zero HoldKind (default geometric) rejected: %v", err)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	a, err := NewPoisson(3, 500, 0.05, 8, HoldGeometric, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoisson(3, 500, 0.05, 8, HoldGeometric, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := int32(0); ch < 3; ch++ {
+		for s := int64(0); s < 500; s++ {
+			if a.Jammed(s, ch) != b.Jammed(s, ch) {
+				t.Fatalf("same-seed Poisson jammers diverged at (%d,%d)", s, ch)
+			}
+		}
+	}
+}
+
+func TestPoissonOutOfRange(t *testing.T) {
+	p, err := NewPoisson(2, 100, 0.5, 3, HoldFixed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Jammed(-1, 0) || p.Jammed(100, 0) || p.Jammed(5, 2) || p.Jammed(5, -1) {
+		t.Error("out-of-range query reported jammed")
+	}
+}
+
+func TestPoissonZeroRateNeverJams(t *testing.T) {
+	p, err := NewPoisson(2, 1000, 0, 5, HoldGeometric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if OccupancyFraction(p, 2, 1000) != 0 {
+		t.Error("zero-rate Poisson produced occupancy")
+	}
+}
+
+// TestPoissonFixedHoldBurstLength: with fixed holds, every busy period
+// is a multiple-free run of at least ceil(hold) slots (arrivals only
+// extend it).
+func TestPoissonFixedHoldBurstLength(t *testing.T) {
+	const hold = 4
+	p, err := NewPoisson(1, 5000, 0.01, hold, HoldFixed, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLen := 0
+	sawBurst := false
+	for s := int64(0); s <= 5000; s++ {
+		if s < 5000 && p.Jammed(s, 0) {
+			runLen++
+			continue
+		}
+		if runLen > 0 {
+			sawBurst = true
+			// A run that ends inside the horizon must be >= hold slots.
+			if s < 5000 && runLen < hold {
+				t.Fatalf("busy run of %d slots ending at %d, want >= %d", runLen, s, hold)
+			}
+		}
+		runLen = 0
+	}
+	if !sawBurst {
+		t.Fatal("no bursts at rate 0.01 over 5000 slots — check the arrival process")
+	}
+}
+
+// TestPoissonOccupancyMatchesLoad: mean occupancy of the discretized
+// M/G/∞-style process with per-slot arrival probability p and fixed
+// hold L is 1-(1-p)^L; check the realized fraction against it.
+func TestPoissonOccupancyMatchesLoad(t *testing.T) {
+	const rate, hold = 0.02, 10
+	p, err := NewPoisson(8, 60000, rate, hold, HoldFixed, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := OccupancyFraction(p, 8, 60000)
+	pArrive := 1 - math.Exp(-rate)
+	want := 1 - math.Pow(1-pArrive, hold)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("occupancy = %v, want ~%v", got, want)
+	}
+}

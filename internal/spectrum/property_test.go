@@ -1,0 +1,120 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crn/internal/rng"
+)
+
+// TestQuickMarkovStationaryOccupancy: for any well-mixing (pOn, pOff)
+// pair, the realized occupancy over a long horizon converges to the
+// chain's stationary distribution pOn/(pOn+pOff).
+func TestQuickMarkovStationaryOccupancy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical property check")
+	}
+	f := func(onRaw, offRaw uint16, seed uint64) bool {
+		// Keep both probabilities in [0.02, 1] so the chain mixes fast
+		// enough for the fixed horizon and tolerance below.
+		pOn := 0.02 + 0.98*float64(onRaw)/math.MaxUint16
+		pOff := 0.02 + 0.98*float64(offRaw)/math.MaxUint16
+		const channels, horizon = 4, 40000
+		m, err := NewMarkov(channels, horizon, pOn, pOff, seed)
+		if err != nil {
+			return false
+		}
+		got := OccupancyFraction(m, channels, horizon)
+		want := pOn / (pOn + pOff)
+		return math.Abs(got-want) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAdversaryBudget: whatever activity the adversary observes,
+// it never jams more than T channels in any slot, never jams a channel
+// it saw no broadcasts on, and never jams before its first
+// observation.
+func TestQuickAdversaryBudget(t *testing.T) {
+	f := func(budgetRaw uint8, universeRaw uint8, seed uint64) bool {
+		budget := int(budgetRaw % 12)
+		universe := 1 + int(universeRaw%24)
+		a := NewReactiveAdversary(budget)
+		if len(jammedChannels(a, 0, universe)) != 0 {
+			return false
+		}
+		r := rng.New(seed)
+		activity := make([]int, universe)
+		for slot := int64(0); slot < 100; slot++ {
+			for ch := range activity {
+				activity[ch] = r.Intn(4)
+			}
+			a.ObserveActivity(slot, activity)
+			jammed := jammedChannels(a, slot+1, universe)
+			if len(jammed) > budget {
+				return false
+			}
+			for _, ch := range jammed {
+				if activity[ch] == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComposeNoneIdentity: Compose(None, j) answers exactly like
+// j on arbitrary (slot, channel) queries, for each jammer family.
+func TestQuickComposeNoneIdentity(t *testing.T) {
+	markov, err := NewMarkov(6, 2000, 0.05, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, err := NewPoisson(6, 2000, 0.03, 7, HoldGeometric, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periodic, err := NewPeriodic(37, 11, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []Jammer{markov, poisson, periodic} {
+		c := Compose(None{}, j)
+		f := func(slotRaw uint16, chRaw uint8) bool {
+			slot := int64(slotRaw) % 2200 // probe past the horizon too
+			ch := int32(chRaw % 8)
+			return c.Jammed(slot, ch) == j.Jammed(slot, ch)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("Compose(None, %T): %v", j, err)
+		}
+	}
+}
+
+// TestQuickComposeIsUnion: the composite jams iff some member jams.
+func TestQuickComposeIsUnion(t *testing.T) {
+	f := func(seedA, seedB uint64, slotRaw uint16, chRaw uint8) bool {
+		a, err := NewMarkov(4, 1000, 0.1, 0.2, seedA)
+		if err != nil {
+			return false
+		}
+		b, err := NewPoisson(4, 1000, 0.05, 4, HoldFixed, seedB)
+		if err != nil {
+			return false
+		}
+		c := Compose(a, b)
+		slot := int64(slotRaw) % 1000
+		ch := int32(chRaw % 4)
+		return c.Jammed(slot, ch) == (a.Jammed(slot, ch) || b.Jammed(slot, ch))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

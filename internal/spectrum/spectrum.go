@@ -18,8 +18,11 @@ import (
 )
 
 // Jammer reports primary-user occupancy. Implementations must be
-// deterministic functions of (slot, channel) so simulation runs stay
-// reproducible, and safe for concurrent readers.
+// deterministic — either pure functions of (slot, channel) like
+// Periodic, Markov and Poisson, or deterministic functions of the
+// activity the engine reported so far like ReactiveAdversary (stateful
+// models must also implement RunScoped so each run gets its own
+// instance) — and safe for concurrent readers within a slot.
 type Jammer interface {
 	// Jammed reports whether the given global channel is occupied by a
 	// primary user in the given slot.
@@ -102,7 +105,7 @@ func NewMarkov(channels int, horizon int64, pBusy, pFree float64, seed uint64) (
 	if pBusy < 0 || pBusy > 1 || pFree < 0 || pFree > 1 {
 		return nil, fmt.Errorf("spectrum: probabilities must be in [0,1], got %v and %v", pBusy, pFree)
 	}
-	if horizon > 1<<26 {
+	if horizon > maxHorizon {
 		return nil, fmt.Errorf("spectrum: horizon %d too large to precompute", horizon)
 	}
 	master := rng.New(seed)

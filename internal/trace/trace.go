@@ -44,6 +44,11 @@ func (r *Recorder) Attach(e *radio.Engine) {
 	})
 }
 
+// Record appends one event directly — for collectors fed by delivery
+// callbacks outside this package (e.g. the facade's WithDeliveryTrace)
+// that want the Recorder's serialization and comparison helpers.
+func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
+
 // Events returns the recorded events in delivery order. The caller
 // must not modify the slice.
 func (r *Recorder) Events() []Event { return r.events }

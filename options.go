@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crn/internal/core"
+	"crn/internal/radio"
 )
 
 // Tuning exposes the constant multipliers behind the paper's Θ(·)
@@ -66,6 +67,14 @@ func WithTuning(t Tuning) ScenarioOption {
 	}
 }
 
+// Spectrum-dynamics options stack: each one composes its model with
+// whatever earlier options installed (spectrum occupancy is the union),
+// so Markov primary traffic plus a bounded adversary is simply
+//
+//	crn.WithMarkovPrimaryUsers(0.05, 0.15, 0, 7), crn.WithAdversary(2)
+//
+// The deprecated Scenario.Set* mutators keep their replace semantics.
+
 // WithPeriodicPrimaryUsers installs duty-cycled primary users: every
 // global channel is occupied for onSlots out of every period slots,
 // with the phase staggered across channels so some spectrum is always
@@ -77,7 +86,12 @@ func WithPeriodicPrimaryUsers(period, onSlots int64) ScenarioOption {
 			return
 		}
 		b.post = append(b.post, func(s *Scenario) error {
-			return s.setPeriodicPrimaryUsers(period, onSlots)
+			j, err := s.newPeriodicJammer(period, onSlots)
+			if err != nil {
+				return err
+			}
+			s.addJammer(j)
+			return nil
 		})
 	}
 }
@@ -86,20 +100,94 @@ func WithPeriodicPrimaryUsers(period, onSlots int64) ScenarioOption {
 // channel flips between idle and occupied with the given per-slot
 // transition probabilities (idle→busy pBusy, busy→idle pFree), over a
 // precomputed horizon of `horizon` slots (0 picks a horizon generous
-// enough for a CSEEK run). The seed drives the occupancy trajectory.
+// enough for a CSEEK run). The seed drives the occupancy trajectory;
+// the stationary occupancy is pBusy/(pBusy+pFree).
 func WithMarkovPrimaryUsers(pBusy, pFree float64, horizon int64, seed uint64) ScenarioOption {
 	return func(b *scenarioBuilder) {
 		b.post = append(b.post, func(s *Scenario) error {
-			return s.setMarkovPrimaryUsers(pBusy, pFree, horizon, seed)
+			j, err := s.newMarkovJammer(pBusy, pFree, horizon, seed)
+			if err != nil {
+				return err
+			}
+			s.addJammer(j)
+			return nil
 		})
 	}
 }
 
-// WithJammer installs a custom primary-user model.
+// WithPoissonPrimaryUsers installs Poisson primary users: on each
+// global channel transmissions arrive at `rate` per slot and hold the
+// channel for a geometrically distributed time with mean meanHold
+// slots, over a precomputed horizon of `horizon` slots (0 picks a
+// horizon generous enough for a CSEEK run). The seed drives the
+// arrival trajectory.
+func WithPoissonPrimaryUsers(rate, meanHold float64, horizon int64, seed uint64) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			j, err := s.newPoissonJammer(rate, meanHold, horizon, seed)
+			if err != nil {
+				return err
+			}
+			s.addJammer(j)
+			return nil
+		})
+	}
+}
+
+// WithAdversary installs the paper's t-bounded adaptive adversary: it
+// observes aggregate secondary-user activity with a one-slot delay and
+// jams the t busiest channels each slot. t <= 0 picks a default budget
+// of a quarter of the channel universe. The adversary is stateful and
+// run-scoped: every primitive run (including each run inside a Sweep)
+// faces a fresh instance, so results stay deterministic per seed and
+// identical at any worker count.
+func WithAdversary(t int) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			s.addJammer(s.newAdversary(t))
+			return nil
+		})
+	}
+}
+
+// WithJammer installs a custom primary-user model, stacking with any
+// spectrum option before it. A nil jammer clears everything installed
+// so far — the escape hatch back to clear spectrum when building on
+// top of a preset.
 func WithJammer(j Jammer) ScenarioOption {
 	return func(b *scenarioBuilder) {
 		b.post = append(b.post, func(s *Scenario) error {
-			s.setJammer(j)
+			if j == nil {
+				s.nw.Jammer = nil
+				return nil
+			}
+			s.addJammer(j)
+			return nil
+		})
+	}
+}
+
+// DeliveryTraceFunc observes one frame delivery: in the given slot,
+// `listener` heard the frame `sender` broadcast on global channel
+// `channel`. See WithDeliveryTrace.
+type DeliveryTraceFunc func(slot int64, listener, sender, channel int)
+
+// WithDeliveryTrace installs a callback observing every frame delivery
+// of every run on the scenario — the hook golden-trace regression
+// tests and debugging front-ends record through. The callback runs on
+// the engine goroutine of whichever run resolved the delivery;
+// concurrent runs (Sweep with Workers > 1) invoke it concurrently, so
+// trace single runs or synchronize in fn.
+func WithDeliveryTrace(fn DeliveryTraceFunc) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			if fn == nil {
+				s.trace = nil
+				return nil
+			}
+			s.trace = func(slot int64, listener radio.NodeID, ch int32, msg *radio.Message) {
+				fn(slot, int(listener), int(msg.From), int(ch))
+			}
 			return nil
 		})
 	}

@@ -1,0 +1,194 @@
+package crn
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func presetOptions(t *testing.T, name string, base ...ScenarioOption) []ScenarioOption {
+	t.Helper()
+	p, err := PresetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(base, p.Options...)
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := PresetByName(name)
+		if err != nil {
+			t.Fatalf("PresetByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("PresetByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := PresetByName("URBAN-BUSY"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetsBuildScenarios(t *testing.T) {
+	base := []ScenarioOption{
+		WithTopology(GNP), WithNodes(10), WithChannels(4, 2, 0), WithSeed(3),
+	}
+	for _, p := range Presets() {
+		if _, err := New(append(append([]ScenarioOption{}, base...), p.Options...)...); err != nil {
+			t.Errorf("preset %q: %v", p.Name, err)
+		}
+	}
+}
+
+// TestPresetSpectrumShowsInResults: the non-quiet presets actually jam
+// — their runs account jammed listener-slots — while quiet stays clean.
+func TestPresetSpectrumShowsInResults(t *testing.T) {
+	base := []ScenarioOption{WithTopology(GNP), WithNodes(10), WithChannels(4, 2, 0), WithSeed(3)}
+	for _, name := range []string{PresetQuiet, PresetUrbanBusy, PresetBursty, PresetAdversarial} {
+		s, err := New(presetOptions(t, name, base...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Discovery(CSeek).Run(context.Background(), s, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Spectrum == nil {
+			t.Fatalf("preset %q: no spectrum accounting", name)
+		}
+		if name == PresetQuiet {
+			if res.Spectrum.JammedListens != 0 {
+				t.Errorf("quiet preset jammed %d listens", res.Spectrum.JammedListens)
+			}
+			continue
+		}
+		if res.Spectrum.JammedListens == 0 {
+			t.Errorf("preset %q jammed 0 listens — model not installed?", name)
+		}
+	}
+}
+
+// TestSweepPresetAggregatesByteIdentical is the acceptance check: a
+// Sweep over the adversarial-t and urban-busy presets produces
+// byte-identical results (full runs and aggregates) at 1 and 8
+// workers. With a stateful adversary this only holds because every run
+// gets its own jammer instance (Scenario.runNetwork).
+func TestSweepPresetAggregatesByteIdentical(t *testing.T) {
+	base := []ScenarioOption{WithTopology(GNP), WithNodes(10), WithChannels(4, 2, 0), WithSeed(5)}
+	for _, name := range []string{PresetAdversarial, PresetUrbanBusy} {
+		s, err := New(presetOptions(t, name, base...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep := func(workers int) []byte {
+			res, err := Sweep(context.Background(), SweepSpec{
+				Primitive:   Discovery(CSeek),
+				Variants:    []Variant{{Name: name, Scenario: s}},
+				Seeds:       6,
+				BaseSeed:    77,
+				Workers:     workers,
+				KeepResults: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Aggregates[0].Failures > 0 {
+				t.Fatalf("preset %q: %d sweep runs failed", name, res.Aggregates[0].Failures)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		if w1, w8 := sweep(1), sweep(8); !bytes.Equal(w1, w8) {
+			t.Errorf("preset %q: sweep results differ between 1 and 8 workers", name)
+		}
+	}
+}
+
+// TestSweepWorkerEquivalenceAcrossPrimitives locks worker-count
+// determinism down for every primitive × spectrum model combination:
+// runs (including stateful-adversary scenarios) must be byte-identical
+// at 1, 2, 4 and 8 workers.
+func TestSweepWorkerEquivalenceAcrossPrimitives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-matrix determinism check")
+	}
+	base := []ScenarioOption{WithTopology(GNP), WithNodes(9), WithChannels(4, 2, 0), WithSeed(8)}
+	prims := []Primitive{
+		Discovery(CSeek),
+		KDiscovery(2),
+		GlobalBroadcast(0, "m"),
+		Flooding(0, "m"),
+	}
+	for _, name := range []string{PresetUrbanBusy, PresetBursty, PresetAdversarial} {
+		s, err := New(presetOptions(t, name, base...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prim := range prims {
+			want := []byte(nil)
+			for _, workers := range []int{1, 2, 4, 8} {
+				res, err := Sweep(context.Background(), SweepSpec{
+					Primitive:   prim,
+					Variants:    []Variant{{Name: name, Scenario: s}},
+					Seeds:       4,
+					BaseSeed:    13,
+					Workers:     workers,
+					KeepResults: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = b
+					continue
+				}
+				if !bytes.Equal(want, b) {
+					t.Errorf("%s/%s: workers=%d diverged from workers=1", name, prim.Name(), workers)
+				}
+			}
+		}
+	}
+}
+
+// TestOptionsStackSpectrumModels: primary traffic plus an adversary
+// compose — the combined scenario jams at least as much as either
+// alone.
+func TestOptionsStackSpectrumModels(t *testing.T) {
+	base := []ScenarioOption{WithTopology(GNP), WithNodes(10), WithChannels(4, 2, 0), WithSeed(3)}
+	jammedListens := func(opts ...ScenarioOption) int64 {
+		s, err := New(append(append([]ScenarioOption{}, base...), opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Discovery(CSeek).Run(context.Background(), s, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Spectrum.JammedListens
+	}
+	markovOnly := jammedListens(WithMarkovPrimaryUsers(0.05, 0.15, 0, 7))
+	stacked := jammedListens(WithMarkovPrimaryUsers(0.05, 0.15, 0, 7), WithAdversary(1))
+	if markovOnly == 0 {
+		t.Fatal("markov model jammed nothing")
+	}
+	if stacked <= markovOnly {
+		t.Errorf("stacked models jammed %d listens, markov alone %d — adversary not stacking", stacked, markovOnly)
+	}
+	// WithJammer(nil) clears everything installed so far — the escape
+	// hatch back to clear spectrum on top of a preset.
+	if cleared := jammedListens(WithMarkovPrimaryUsers(0.05, 0.15, 0, 7), WithAdversary(1), WithJammer(nil)); cleared != 0 {
+		t.Errorf("WithJammer(nil) left %d jammed listens, want 0", cleared)
+	}
+}

@@ -1,0 +1,104 @@
+package crn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Preset is a named spectrum-dynamics configuration: a bundle of
+// ScenarioOptions that installs a primary-user / adversary model on
+// top of whatever topology and channel options a scenario already has.
+// Presets make scenario families comparable across experiments, the
+// CLI (crnsim -preset) and sweeps without re-stating model parameters.
+type Preset struct {
+	// Name is the preset's stable identifier (e.g. "urban-busy").
+	Name string
+	// Description summarizes the spectrum dynamics the preset models.
+	Description string
+	// Options are the spectrum options the preset applies, in order.
+	Options []ScenarioOption
+}
+
+// Fixed spectrum seeds: preset occupancy trajectories are part of the
+// preset's identity, so the same preset always yields the same primary
+// traffic (per scenario channel universe) and golden traces stay
+// byte-stable.
+const (
+	presetMarkovSeed  = 0xC0FFEE
+	presetPoissonSeed = 0xBEEF
+)
+
+// PresetQuiet, PresetUrbanBusy, PresetBursty and PresetAdversarial
+// name the built-in presets.
+const (
+	PresetQuiet       = "quiet"
+	PresetUrbanBusy   = "urban-busy"
+	PresetBursty      = "bursty"
+	PresetAdversarial = "adversarial-t"
+)
+
+// Presets returns the built-in scenario preset library, in
+// documentation order:
+//
+//   - quiet: clear spectrum — the paper's baseline model.
+//   - urban-busy: Markov (Gilbert on/off) primary traffic with ~25%
+//     stationary occupancy and multi-slot bursts, the steady urban
+//     licensed-band picture.
+//   - bursty: Poisson arrivals holding channels for long geometric
+//     bursts — rarer, heavier outages at a similar mean occupancy.
+//   - adversarial-t: the paper's t-bounded adaptive adversary with the
+//     default budget (a quarter of the channel universe), reacting to
+//     observed secondary-user activity with a one-slot delay.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:        PresetQuiet,
+			Description: "clear spectrum (no primary users, no adversary)",
+			Options:     nil,
+		},
+		{
+			Name:        PresetUrbanBusy,
+			Description: "Markov on/off primary traffic, ~25% occupancy (pBusy=0.05, pFree=0.15)",
+			Options: []ScenarioOption{
+				WithMarkovPrimaryUsers(0.05, 0.15, 0, presetMarkovSeed),
+			},
+		},
+		{
+			Name:        PresetBursty,
+			Description: "Poisson primary arrivals with long geometric holds, ~25% occupancy (rate=0.012, hold=25)",
+			Options: []ScenarioOption{
+				WithPoissonPrimaryUsers(0.012, 25, 0, presetPoissonSeed),
+			},
+		},
+		{
+			Name:        PresetAdversarial,
+			Description: "t-bounded reactive adversary, t = universe/4, one-slot sensing delay",
+			Options: []ScenarioOption{
+				WithAdversary(0),
+			},
+		},
+	}
+}
+
+// PresetByName returns the built-in preset with the given name
+// (case-insensitive), or an error naming the valid presets.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("crn: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+}
+
+// PresetNames returns the built-in preset names, sorted.
+func PresetNames() []string {
+	ps := Presets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -108,7 +108,7 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 		ds[u] = d
 		protos[u] = d
 	}
-	e, err := radio.NewEngine(s.nw, protos)
+	e, err := radio.NewEngine(s.runNetwork(), protos)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +150,8 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 		completedAt = slot
 		return true
 	}
-	if _, err := e.RunUntilCtx(ctx, ds[0].TotalSlots()+1, stop); err != nil {
+	st, err := e.RunUntilCtx(ctx, ds[0].TotalSlots()+1, stop)
+	if err != nil {
 		return nil, err
 	}
 
@@ -196,7 +197,19 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 		CompletedAtSlot: completedAt,
 		Completed:       completedAt >= 0,
 		Discovery:       det,
+		Spectrum:        spectrumDetail(st),
 	}, nil
+}
+
+// spectrumDetail maps engine counters into the Result envelope's
+// spectrum accounting block.
+func spectrumDetail(st radio.Stats) *SpectrumDetail {
+	return &SpectrumDetail{
+		Listens:       st.Listens,
+		Deliveries:    st.Deliveries,
+		Collisions:    st.Collisions,
+		JammedListens: st.JammedListens,
+	}
 }
 
 // observer is the optional per-neighbor observation interface some
@@ -254,7 +267,7 @@ type globalBroadcastPrimitive struct {
 func (p globalBroadcastPrimitive) Name() string { return "cgcast" }
 
 func (p globalBroadcastPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
-	res, err := core.RunCGCastCtx(ctx, s.nw, core.BroadcastConfig{
+	res, err := core.RunCGCastCtx(ctx, s.runNetwork(), core.BroadcastConfig{
 		Params:  s.p,
 		D:       s.d,
 		Source:  radio.NodeID(p.source),
@@ -278,6 +291,7 @@ func (p globalBroadcastPrimitive) Run(ctx context.Context, s *Scenario, seed uin
 			EdgesDropped:        res.EdgesDropped,
 			ColoringValid:       res.ColoringValid,
 		},
+		Spectrum: spectrumDetail(res.Radio),
 	}, nil
 }
 
@@ -296,7 +310,7 @@ type floodingPrimitive struct {
 func (p floodingPrimitive) Name() string { return "flood" }
 
 func (p floodingPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
-	res, err := core.RunFloodCtx(ctx, s.nw, s.p, s.d, radio.NodeID(p.source), p.message, seed)
+	res, err := core.RunFloodCtx(ctx, s.runNetwork(), s.p, s.d, radio.NodeID(p.source), p.message, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -309,5 +323,6 @@ func (p floodingPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*
 			DissemScheduleSlots: res.ScheduleSlots,
 			AllInformed:         res.AllInformed,
 		},
+		Spectrum: spectrumDetail(res.Radio),
 	}, nil
 }

@@ -27,6 +27,27 @@ type Result struct {
 	// Broadcast carries broadcast detail (GlobalBroadcast and Flooding
 	// primitives).
 	Broadcast *BroadcastDetail `json:"broadcast,omitempty"`
+	// Spectrum carries the run's radio/spectrum accounting — how much
+	// listening the primitive did and how much of it primary users or
+	// an adversary jammed. For GlobalBroadcast it covers the stages
+	// that ran in the radio model (dissemination; setup too under
+	// WithFullFidelity).
+	Spectrum *SpectrumDetail `json:"spectrum,omitempty"`
+}
+
+// SpectrumDetail reports one run's radio-level spectrum accounting.
+type SpectrumDetail struct {
+	// Listens counts listener-slots.
+	Listens int64 `json:"listens"`
+	// Deliveries counts frames heard by listeners.
+	Deliveries int64 `json:"deliveries"`
+	// Collisions counts listener-slots lost to simultaneous
+	// broadcasting neighbors.
+	Collisions int64 `json:"collisions"`
+	// JammedListens counts listener-slots lost to primary users or an
+	// adversary — the jammed-slot accounting for spectrum-dynamics
+	// experiments.
+	JammedListens int64 `json:"jammedListens"`
 }
 
 // DiscoveryDetail reports one neighbor-discovery run. For KDiscovery
@@ -95,6 +116,12 @@ func (r *Result) Metrics() map[string]float64 {
 		m["setupSlots"] = float64(b.SetupSlots)
 		m["dissemScheduleSlots"] = float64(b.DissemScheduleSlots)
 		m["allInformed"] = b2f(b.AllInformed)
+	}
+	if sp := r.Spectrum; sp != nil {
+		m["listens"] = float64(sp.Listens)
+		m["jammedListens"] = float64(sp.JammedListens)
+		m["deliveries"] = float64(sp.Deliveries)
+		m["collisions"] = float64(sp.Collisions)
 	}
 	return m
 }

@@ -58,6 +58,9 @@ type Scenario struct {
 	p  core.Params
 	nw *radio.Network
 	d  int
+	// trace, when set (WithDeliveryTrace), observes every frame
+	// delivery of every run on this scenario.
+	trace radio.TraceFunc
 }
 
 // Jammer models primary-user occupancy: Jammed reports whether the
@@ -291,52 +294,143 @@ func buildTopology(cfg ScenarioConfig, r *rng.Source) (*graph.Graph, error) {
 	}
 }
 
-// setPeriodicPrimaryUsers installs duty-cycled primary users (the
-// implementation behind WithPeriodicPrimaryUsers and the deprecated
-// SetPeriodicPrimaryUsers).
-func (s *Scenario) setPeriodicPrimaryUsers(period, onSlots int64) error {
-	if onSlots == 0 {
-		s.nw.Jammer = nil
-		return nil
-	}
+// newPeriodicJammer builds the duty-cycled primary-user model with the
+// phase staggered across the scenario's channel universe.
+func (s *Scenario) newPeriodicJammer(period, onSlots int64) (spectrum.Jammer, error) {
 	stride := period / int64(s.a.Universe)
 	if stride < 1 {
 		stride = 1
 	}
 	j, err := spectrum.NewPeriodic(period, onSlots, stride, nil)
 	if err != nil {
-		return fmt.Errorf("crn: %w", err)
+		return nil, fmt.Errorf("crn: %w", err)
 	}
-	s.nw.Jammer = j
-	return nil
+	return j, nil
 }
 
-// setMarkovPrimaryUsers installs bursty Markov primary users (the
-// implementation behind WithMarkovPrimaryUsers and the deprecated
-// SetMarkovPrimaryUsers).
-func (s *Scenario) setMarkovPrimaryUsers(pBusy, pFree float64, horizon int64, seed uint64) error {
+// autoHorizon is the precompute horizon stochastic primary-user models
+// default to: twice a CSEEK schedule, generous enough for any
+// primitive whose slot budget is CSEEK-dominated.
+func (s *Scenario) autoHorizon() (int64, error) {
+	probe, err := core.NewCSeek(s.p, core.Env{ID: 0, C: s.p.C, Rand: rng.New(1)})
+	if err != nil {
+		return 0, fmt.Errorf("crn: %w", err)
+	}
+	return 2 * probe.TotalSlots(), nil
+}
+
+// newMarkovJammer builds the bursty Markov primary-user model
+// (horizon 0 picks autoHorizon).
+func (s *Scenario) newMarkovJammer(pBusy, pFree float64, horizon int64, seed uint64) (spectrum.Jammer, error) {
 	if horizon == 0 {
-		probe, err := core.NewCSeek(s.p, core.Env{ID: 0, C: s.p.C, Rand: rng.New(1)})
-		if err != nil {
-			return fmt.Errorf("crn: %w", err)
+		var err error
+		if horizon, err = s.autoHorizon(); err != nil {
+			return nil, err
 		}
-		horizon = 2 * probe.TotalSlots()
 	}
 	j, err := spectrum.NewMarkov(s.a.Universe, horizon, pBusy, pFree, seed)
 	if err != nil {
-		return fmt.Errorf("crn: %w", err)
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	return j, nil
+}
+
+// newPoissonJammer builds the Poisson-arrival primary-user model
+// (horizon 0 picks autoHorizon).
+func (s *Scenario) newPoissonJammer(rate, meanHold float64, horizon int64, seed uint64) (spectrum.Jammer, error) {
+	if horizon == 0 {
+		var err error
+		if horizon, err = s.autoHorizon(); err != nil {
+			return nil, err
+		}
+	}
+	j, err := spectrum.NewPoisson(s.a.Universe, horizon, rate, meanHold, spectrum.HoldGeometric, seed)
+	if err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	return j, nil
+}
+
+// newAdversary builds the t-bounded reactive adversary. t <= 0 picks
+// the default budget of a quarter of the channel universe (at least 1)
+// — enough to matter, never enough to drown every channel.
+func (s *Scenario) newAdversary(t int) spectrum.Jammer {
+	if t <= 0 {
+		t = s.a.Universe / 4
+		if t < 1 {
+			t = 1
+		}
+	}
+	return spectrum.NewReactiveAdversary(t)
+}
+
+// addJammer stacks j on top of any already-installed primary-user
+// model (the ScenarioOption path: options compose, so Markov traffic
+// plus an adversary is just two options).
+func (s *Scenario) addJammer(j spectrum.Jammer) {
+	if cur := s.nw.Jammer; cur != nil {
+		j = spectrum.Compose(cur, j)
+	}
+	s.nw.Jammer = j
+}
+
+// setPeriodicPrimaryUsers installs duty-cycled primary users,
+// replacing any installed model (the deprecated
+// SetPeriodicPrimaryUsers contract).
+func (s *Scenario) setPeriodicPrimaryUsers(period, onSlots int64) error {
+	if onSlots == 0 {
+		s.nw.Jammer = nil
+		return nil
+	}
+	j, err := s.newPeriodicJammer(period, onSlots)
+	if err != nil {
+		return err
 	}
 	s.nw.Jammer = j
 	return nil
 }
 
-// setJammer installs a custom primary-user model (nil to clear).
+// setMarkovPrimaryUsers installs bursty Markov primary users,
+// replacing any installed model (the deprecated SetMarkovPrimaryUsers
+// contract).
+func (s *Scenario) setMarkovPrimaryUsers(pBusy, pFree float64, horizon int64, seed uint64) error {
+	j, err := s.newMarkovJammer(pBusy, pFree, horizon, seed)
+	if err != nil {
+		return err
+	}
+	s.nw.Jammer = j
+	return nil
+}
+
+// setJammer installs a custom primary-user model (nil to clear),
+// replacing any installed model (the deprecated SetJammer contract).
 func (s *Scenario) setJammer(j Jammer) {
 	if j == nil {
 		s.nw.Jammer = nil
 		return
 	}
 	s.nw.Jammer = j
+}
+
+// runNetwork returns the network a single simulation run should use.
+// Scenarios are shared read-only across sweep workers, but stateful
+// jammers (spectrum.RunScoped — the reactive adversary) carry per-run
+// state, so each run gets a shallow network copy holding a fresh
+// jammer instance; a delivery-trace callback rides along the same way.
+// Stateless scenarios return the shared network unchanged.
+func (s *Scenario) runNetwork() *radio.Network {
+	rs, scoped := s.nw.Jammer.(spectrum.RunScoped)
+	if !scoped && s.trace == nil {
+		return s.nw
+	}
+	nw := *s.nw
+	if scoped {
+		nw.Jammer = rs.NewRun()
+	}
+	if s.trace != nil {
+		nw.Trace = s.trace
+	}
+	return &nw
 }
 
 // ModelParams returns the scenario's normalized model parameters,

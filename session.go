@@ -27,7 +27,7 @@ func (s *Scenario) NewBroadcastSession(seed uint64, opts ...BroadcastOption) (*B
 // cancellation of the setup stages.
 func (s *Scenario) NewBroadcastSessionCtx(ctx context.Context, seed uint64, opts ...BroadcastOption) (*BroadcastSession, error) {
 	o := resolveBroadcastOptions(opts)
-	session, err := core.PrepareCGCastCtx(ctx, s.nw, core.SessionConfig{
+	session, err := core.PrepareCGCastCtx(ctx, s.runNetwork(), core.SessionConfig{
 		Params: s.p,
 		Mode:   o.mode,
 		Seed:   seed,
