@@ -1,0 +1,247 @@
+package main
+
+// The -bench mode: in-process micro/macro benchmarks of the simulator
+// hot paths, emitted as a machine-readable report. Where `go test
+// -bench` needs the toolchain and a test binary, `crnbench -bench`
+// runs anywhere the CLI does (CI smoke steps, perf dashboards) and
+// reports the metric the ROADMAP cares about — node-slots per second
+// through the radio engine — alongside ns/op and allocs/op.
+//
+// The suite mirrors the repository benchmarks so numbers are
+// comparable: the raw engine slot loop (BenchmarkEngineSlot), CSEEK
+// discovery and CGCAST broadcast end-to-end through the public
+// Primitive API (BenchmarkDiscoverCSeek / BenchmarkBroadcastCGCast),
+// and the sweep engine at 1/2/4/8 workers (BenchmarkSweep).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"crn"
+	"crn/internal/chanassign"
+	"crn/internal/graph"
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// BenchResult is one benchmark measurement in the JSON report.
+type BenchResult struct {
+	// Name identifies the benchmark, in go-test style ("engine/slot").
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// NodeSlotsPerSec is simulated node-slots per wall second, the
+	// engine throughput metric (0 where not applicable).
+	NodeSlotsPerSec float64 `json:"node_slots_per_sec,omitempty"`
+	// N is the iteration count the measurement averaged over.
+	N int `json:"n"`
+}
+
+// BenchReport is the full -bench output.
+type BenchReport struct {
+	// Results holds one entry per benchmark.
+	Results []BenchResult `json:"results"`
+}
+
+// benchSpec couples a benchmark with the node-slot volume one
+// operation simulates (0 when node-slots/sec is not meaningful).
+type benchSpec struct {
+	name        string
+	nodeSlotsOp float64
+	fn          func(b *testing.B)
+}
+
+func benchSuite() ([]benchSpec, error) {
+	// Engine slot loop: 64 nodes of scripted random traffic, the same
+	// instance BenchmarkEngineSlot uses.
+	engineBench := func(b *testing.B) {
+		master := rng.New(1)
+		g, err := graph.GNP(64, 0.15, rng.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := chanassign.SharedPool(64, 8, 2, 30, rng.New(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		protos := make([]radio.Protocol, 64)
+		for i := range protos {
+			protos[i] = benchRandomProto(master.Split(uint64(i)), 8)
+		}
+		e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a}, protos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Run(int64(b.N))
+	}
+
+	gnp, err := crn.New(crn.WithTopology(crn.GNP), crn.WithNodes(16), crn.WithChannels(5, 2, 0), crn.WithSeed(7))
+	if err != nil {
+		return nil, err
+	}
+	chain, err := crn.New(crn.WithTopology(crn.Chain), crn.WithNodes(16), crn.WithChannels(4, 2, 0), crn.WithSeed(7))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// End-to-end primitives, matching the facade benchmarks: the
+	// node-slot volume per op is the scenario's node count times the
+	// slots one run executes (measured once up front).
+	cseek := crn.Discovery(crn.CSeek)
+	cseekRes, err := cseek.Run(ctx, gnp, 1)
+	if err != nil {
+		return nil, err
+	}
+	cseekSlots := cseekRes.ScheduleSlots
+	if cseekRes.CompletedAtSlot >= 0 {
+		cseekSlots = cseekRes.CompletedAtSlot
+	}
+	cgcast := crn.GlobalBroadcast(0, "m")
+
+	specs := []benchSpec{
+		{
+			name:        "engine/slot",
+			nodeSlotsOp: 64,
+			fn:          engineBench,
+		},
+		{
+			name:        "primitive/cseek",
+			nodeSlotsOp: float64(gnp.N()) * float64(cseekSlots),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := cseek.Run(ctx, gnp, uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "primitive/cgcast",
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := cgcast.Run(ctx, chain, uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		specs = append(specs, benchSpec{
+			name:        fmt.Sprintf("sweep/workers=%d", workers),
+			nodeSlotsOp: 32 * float64(gnp.N()) * float64(cseekSlots),
+			fn: func(b *testing.B) {
+				spec := crn.SweepSpec{
+					Primitive: crn.Discovery(crn.CSeek),
+					Variants:  []crn.Variant{{Name: "gnp16", Scenario: gnp}},
+					Seeds:     32,
+					BaseSeed:  11,
+					Workers:   workers,
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := crn.Sweep(ctx, spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Aggregates[0].Failures != 0 {
+						b.Fatalf("%d sweep failures", res.Aggregates[0].Failures)
+					}
+				}
+			},
+		})
+	}
+	return specs, nil
+}
+
+// benchRandomProto is a never-finishing random-traffic protocol for
+// the engine benchmark.
+func benchRandomProto(r *rng.Source, c int) radio.Protocol {
+	return &randProto{r: r, c: c}
+}
+
+type randProto struct {
+	r *rng.Source
+	c int
+}
+
+func (p *randProto) Act(_ int64) radio.Action {
+	switch p.r.Intn(3) {
+	case 0:
+		return radio.Action{Kind: radio.Idle}
+	case 1:
+		return radio.Action{Kind: radio.Listen, Ch: p.r.Intn(p.c)}
+	default:
+		return radio.Action{Kind: radio.Broadcast, Ch: p.r.Intn(p.c)}
+	}
+}
+
+func (p *randProto) Observe(_ int64, _ *radio.Message) {}
+func (p *randProto) Done() bool                        { return false }
+
+// runBench executes the benchmark suite and writes the report.
+// format is "json" or "text"; out optionally names a file the JSON
+// report is additionally written to. In json mode w carries only the
+// JSON document (progress lines go to stderr), so the output pipes
+// cleanly into jq and friends.
+func runBench(w io.Writer, format, out string) error {
+	specs, err := benchSuite()
+	if err != nil {
+		return err
+	}
+	progress := w
+	if format == "json" {
+		progress = os.Stderr
+	}
+	report := BenchReport{}
+	for _, spec := range specs {
+		r := testing.Benchmark(spec.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := BenchResult{
+			Name:        spec.name,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		if spec.nodeSlotsOp > 0 && ns > 0 {
+			res.NodeSlotsPerSec = spec.nodeSlotsOp / (ns / 1e9)
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(progress, "%-22s %14.0f ns/op %10d allocs/op %14.3g node-slots/s\n",
+			spec.name, res.NsPerOp, res.AllocsPerOp, res.NodeSlotsPerSec)
+	}
+	if format != "json" && out == "" {
+		return nil
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if format == "json" {
+		if _, err := w.Write(doc); err != nil {
+			return err
+		}
+	}
+	if out != "" {
+		if err := os.WriteFile(out, doc, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

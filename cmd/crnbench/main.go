@@ -1,9 +1,12 @@
 // Command crnbench regenerates the paper-reproduction experiments
-// (E1–E16, see DESIGN.md's experiment index) and prints their tables.
+// (E1–E16, see DESIGN.md's experiment index) and prints their tables,
+// or — with -bench — runs the performance benchmark suite and emits a
+// machine-readable report of the simulator's hot paths.
 //
 // Usage:
 //
 //	crnbench [-scale quick|full] [-run E1,E7] [-seed 42] [-list]
+//	crnbench -bench [-format json|text] [-out BENCH.json]
 package main
 
 import (
@@ -32,9 +35,19 @@ func run(args []string, w io.Writer) error {
 		runList   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
 		seed      = fs.Uint64("seed", 42, "master random seed")
 		list      = fs.Bool("list", false, "list experiments and exit")
+		bench     = fs.Bool("bench", false, "run the performance benchmark suite instead of experiments")
+		format    = fs.String("format", "text", "benchmark report format: text or json")
+		out       = fs.String("out", "", "also write the JSON benchmark report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *bench {
+		if *format != "text" && *format != "json" {
+			return fmt.Errorf("unknown format %q (want text or json)", *format)
+		}
+		return runBench(w, *format, *out)
 	}
 
 	defs := experiments.All()

@@ -37,3 +37,9 @@ func TestRunSingleQuickExperiment(t *testing.T) {
 		t.Fatalf("quick E10: %v", err)
 	}
 }
+
+func TestRunBenchBadFormat(t *testing.T) {
+	if err := run([]string{"-bench", "-format", "yaml"}, io.Discard); err == nil {
+		t.Error("unknown bench format accepted")
+	}
+}

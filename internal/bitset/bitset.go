@@ -237,3 +237,58 @@ func (s *Set) mustMatch(o *Set) {
 		panic(fmt.Sprintf("bitset: universe mismatch %d != %d", s.n, o.n))
 	}
 }
+
+// Matrix is a dense rows×cols bit matrix backed by a single allocation.
+// It stores the adjacency structure the radio engine probes on its hot
+// path: Get(r, c) is one shift-and-mask, with no per-row pointer chase
+// or bounds surprises, and building the whole matrix costs one make.
+// The zero value is unusable; construct with NewMatrix.
+type Matrix struct {
+	words  []uint64
+	rows   int
+	cols   int
+	stride int // words per row
+}
+
+// NewMatrix returns an all-zero rows×cols bit matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	stride := (cols + wordBits - 1) / wordBits
+	return &Matrix{
+		words:  make([]uint64, rows*stride),
+		rows:   rows,
+		cols:   cols,
+		stride: stride,
+	}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Set sets bit (r, c). Out-of-range coordinates are ignored.
+func (m *Matrix) Set(r, c int) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return
+	}
+	m.words[r*m.stride+c/wordBits] |= 1 << (uint(c) % wordBits)
+}
+
+// Get reports bit (r, c). Out-of-range coordinates read as false.
+func (m *Matrix) Get(r, c int) bool {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return false
+	}
+	return m.words[r*m.stride+c/wordBits]&(1<<(uint(c)%wordBits)) != 0
+}
+
+// Bytes returns the backing storage size in bytes, for capacity
+// gating by callers deciding whether a dense matrix is affordable.
+func (m *Matrix) Bytes() int { return len(m.words) * 8 }

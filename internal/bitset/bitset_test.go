@@ -370,3 +370,43 @@ func BenchmarkIntersectionCount(b *testing.B) {
 		_ = a.IntersectionCount(c)
 	}
 }
+
+func TestMatrixSetGet(t *testing.T) {
+	m := NewMatrix(5, 130) // cols span multiple words
+	if m.Rows() != 5 || m.Cols() != 130 {
+		t.Fatalf("dims = %dx%d, want 5x130", m.Rows(), m.Cols())
+	}
+	pairs := [][2]int{{0, 0}, {0, 129}, {4, 63}, {4, 64}, {2, 65}}
+	for _, p := range pairs {
+		m.Set(p[0], p[1])
+	}
+	for _, p := range pairs {
+		if !m.Get(p[0], p[1]) {
+			t.Errorf("Get(%d,%d) = false after Set", p[0], p[1])
+		}
+	}
+	if m.Get(1, 0) || m.Get(0, 1) || m.Get(3, 64) {
+		t.Error("unset bits read true")
+	}
+}
+
+func TestMatrixOutOfRange(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(-1, 0)
+	m.Set(0, -1)
+	m.Set(3, 0)
+	m.Set(0, 3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if m.Get(r, c) {
+				t.Fatalf("out-of-range Set leaked into (%d,%d)", r, c)
+			}
+		}
+	}
+	if m.Get(-1, 0) || m.Get(0, 3) {
+		t.Error("out-of-range Get returned true")
+	}
+	if NewMatrix(-1, -1).Bytes() != 0 {
+		t.Error("negative dims should yield an empty matrix")
+	}
+}

@@ -28,6 +28,11 @@ type Assignment struct {
 	// localToGlobal[u][l] is the global channel behind node u's local
 	// label l.
 	localToGlobal [][]int32
+	// l2gFlat is localToGlobal flattened to one row-major array
+	// (stride C): the radio engine resolves a global channel per
+	// non-idle node per slot, and the flat layout turns that into a
+	// single indexed load.
+	l2gFlat []int32
 	// globalToLocal[u][g] is node u's local label for global channel g,
 	// or -1 if u cannot access g.
 	globalToLocal [][]int32
@@ -60,7 +65,24 @@ func newAssignment(universe, c int, sets []*bitset.Set, r *rng.Source) *Assignme
 		a.localToGlobal[u] = l2g
 		a.globalToLocal[u] = g2l
 	}
+	a.buildFlat()
 	return a
+}
+
+// buildFlat derives the flattened label table from localToGlobal. A
+// malformed assignment (some row shorter than C) keeps the flat table
+// nil so Global falls back to the indexed path and label misuse still
+// panics loudly instead of silently reading padding.
+func (a *Assignment) buildFlat() {
+	flat := make([]int32, len(a.localToGlobal)*a.C)
+	for u, l2g := range a.localToGlobal {
+		if len(l2g) != a.C {
+			a.l2gFlat = nil
+			return
+		}
+		copy(flat[u*a.C:], l2g)
+	}
+	a.l2gFlat = flat
 }
 
 // N returns the number of nodes.
@@ -70,7 +92,13 @@ func (a *Assignment) N() int { return len(a.sets) }
 func (a *Assignment) Set(u int) *bitset.Set { return a.sets[u] }
 
 // Global maps node u's local label to a global channel.
-func (a *Assignment) Global(u, local int) int32 { return a.localToGlobal[u][local] }
+func (a *Assignment) Global(u, local int) int32 {
+	if a.l2gFlat == nil || local < 0 || local >= a.C {
+		// Preserve the out-of-range panic shape protocols relied on.
+		return a.localToGlobal[u][local]
+	}
+	return a.l2gFlat[u*a.C+local]
+}
 
 // Local maps a global channel to node u's local label, or -1 if node u
 // cannot access that channel.
@@ -418,6 +446,7 @@ func Matching(c int, pairs [][2]int, r *rng.Source) (*Assignment, error) {
 		}
 		a.globalToLocal[u] = g2l
 	}
+	a.buildFlat()
 	return a, nil
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"crn/internal/chanassign"
+	"crn/internal/graph"
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// TestCSeekEngineZeroAllocsSteadyState is the end-to-end allocation
+// regression for the hot path the ISSUE targets: a real CSEEK
+// discovery workload stepped by radio.Engine.Run must allocate nothing
+// per slot once warmed up — in part one (COUNT sampling) and in part
+// two (density-guided back-off) alike. Warm-up covers the transient
+// allocators: discovery records (SeekObservation), map growth, and the
+// part-two back-off buffer.
+func TestCSeekEngineZeroAllocsSteadyState(t *testing.T) {
+	// n/c/seed are chosen so every pair discovers well inside part one
+	// (asserted below); the stretched P2Steps multiplier lengthens part
+	// two enough to host its own measurement window.
+	const n, c = 4, 2
+	g := graph.Complete(n)
+	a, err := chanassign.Identical(n, c, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: n, C: c, K: c, KMax: c, Delta: n - 1, Tuning: Tuning{P2Steps: 30}}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	master := rng.New(32)
+	seeks := make([]*CSeek, n)
+	protos := make([]radio.Protocol, n)
+	for u := 0; u < n; u++ {
+		s, err := NewCSeek(p, Env{ID: radio.NodeID(u), C: c, Rand: master.Split(uint64(u))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeks[u] = s
+		protos[u] = s
+	}
+	e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a}, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := seeks[0].PartOneSlots()
+	total := seeks[0].TotalSlots()
+	if p1 < 4000 || total-p1 < 400 {
+		t.Fatalf("schedule too short for the test layout: p1=%d total=%d", p1, total)
+	}
+
+	// Part-one steady state: warm up past the (seed-deterministic)
+	// last discovery; every node must have found all neighbors by
+	// then, so no discovery records allocate during measurement.
+	target := p1 - 1600
+	e.Run(target)
+	for u, s := range seeks {
+		if s.DiscoveredCount() != n-1 {
+			t.Fatalf("node %d discovered %d/%d neighbors after warm-up", u, s.DiscoveredCount(), n-1)
+		}
+	}
+	step := func() {
+		target += 100
+		e.Run(target)
+	}
+	if avg := testing.AllocsPerRun(10, step); avg != 0 {
+		t.Errorf("part-one steady state allocates %.2f/100 slots, want 0", avg)
+	}
+
+	// Part-two steady state: cross into part two (the first back-off
+	// steps allocate the reusable decision buffer), then measure.
+	target = p1 + 60
+	e.Run(target)
+	stepP2 := func() {
+		target += 40
+		e.Run(target)
+	}
+	if avg := testing.AllocsPerRun(5, stepP2); avg != 0 {
+		t.Errorf("part-two steady state allocates %.2f/40 slots, want 0", avg)
+	}
+	if e.Stats().Deliveries == 0 {
+		t.Fatal("workload produced no deliveries; test exercises nothing")
+	}
+}

@@ -104,6 +104,10 @@ func (s *NaiveSeek) DiscoveredCount() int { return len(s.observed) }
 // TotalSlots implements Discoverer.
 func (s *NaiveSeek) TotalSlots() int64 { return s.maxSlots }
 
+// MinDoneSlots implements radio.FixedSchedule: Done fires exactly at
+// the schedule budget.
+func (s *NaiveSeek) MinDoneSlots() int64 { return s.maxSlots }
+
 // UniformSeek is the back-off-sweep baseline without density sampling:
 // steps of lg Δ slots; every step each node flips a role coin and picks
 // a uniformly random channel; broadcasters run the 2^(i-1)/Δ back-off
@@ -196,6 +200,10 @@ func (s *UniformSeek) DiscoveredCount() int { return len(s.observed) }
 
 // TotalSlots implements Discoverer.
 func (s *UniformSeek) TotalSlots() int64 { return int64(s.steps) * int64(s.slotsStep) }
+
+// MinDoneSlots implements radio.FixedSchedule: the step counter only
+// reaches its bound when the whole fixed schedule has been observed.
+func (s *UniformSeek) MinDoneSlots() int64 { return s.TotalSlots() }
 
 func keys(m map[radio.NodeID]int64) []radio.NodeID {
 	out := make([]radio.NodeID, 0, len(m))

@@ -161,7 +161,7 @@ func RunCGCast(nw *radio.Network, cfg BroadcastConfig) (*BroadcastResult, error)
 }
 
 // RunCGCastCtx is RunCGCast with cooperative cancellation: ctx is
-// checked between pipeline stages and before every simulated slot, so
+// checked between pipeline stages and polled throughout each one, so
 // a long setup or dissemination stops early when ctx is cancelled.
 func RunCGCastCtx(ctx context.Context, nw *radio.Network, cfg BroadcastConfig) (*BroadcastResult, error) {
 	session, err := PrepareCGCastCtx(ctx, nw, SessionConfig{
@@ -233,7 +233,7 @@ func PrepareCGCast(nw *radio.Network, cfg SessionConfig) (*BroadcastSession, err
 }
 
 // PrepareCGCastCtx is PrepareCGCast with cooperative cancellation: ctx
-// is checked between coloring phases and before every simulated slot.
+// is checked between coloring phases and polled throughout each one.
 func PrepareCGCastCtx(ctx context.Context, nw *radio.Network, cfg SessionConfig) (*BroadcastSession, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
@@ -842,7 +842,7 @@ func (s *BroadcastSession) Disseminate(dD int, source radio.NodeID, msg any, see
 }
 
 // DisseminateCtx is Disseminate with cooperative cancellation: ctx is
-// checked before every simulated slot.
+// polled throughout the dissemination run.
 func (s *BroadcastSession) DisseminateCtx(ctx context.Context, dD int, source radio.NodeID, msg any, seed uint64) (*DissemResult, error) {
 	if dD < 1 {
 		return nil, fmt.Errorf("core: D must be >= 1, got %d", dD)
@@ -864,6 +864,7 @@ func (s *BroadcastSession) DisseminateCtx(ctx context.Context, dD int, source ra
 			delta:    s.p.Delta,
 			informed: radio.NodeID(u) == source,
 			msg:      msg,
+			frame:    dissemMessage{Body: msg},
 		}
 		dps[u] = dp
 		protos[u] = dp
@@ -954,6 +955,9 @@ type dissemProto struct {
 	delta    int
 	informed bool
 	msg      any
+	// frame is the pre-boxed dissemMessage carrying msg, refreshed
+	// when the node learns the message, so Act never allocates.
+	frame any
 
 	slot        int64
 	informedAt  int64
@@ -996,7 +1000,7 @@ func (dp *dissemProto) Act(_ int64) radio.Action {
 	i := int(slotInStep % int64(dp.lgDelta))
 	prob := float64(int64(1)<<uint(i)) / float64(int64(1)<<uint(dp.lgDelta))
 	if dp.env.Rand.Bernoulli(prob) {
-		return radio.Action{Kind: radio.Broadcast, Ch: int(ch), Data: dissemMessage{Body: dp.msg}}
+		return radio.Action{Kind: radio.Broadcast, Ch: int(ch), Data: dp.frame}
 	}
 	return radio.Action{Kind: radio.Idle, Ch: int(ch)}
 }
@@ -1008,6 +1012,7 @@ func (dp *dissemProto) Observe(_ int64, msg *radio.Message) {
 			dp.informed = true
 			dp.informedAt = dp.slot
 			dp.msg = dm.Body
+			dp.frame = dissemMessage{Body: dm.Body}
 		}
 	}
 	dp.slot++
@@ -1015,3 +1020,8 @@ func (dp *dissemProto) Observe(_ int64, msg *radio.Message) {
 
 // Done implements radio.Protocol.
 func (dp *dissemProto) Done() bool { return dp.slot >= dp.totalSlots() }
+
+// MinDoneSlots implements radio.FixedSchedule: the dissemination
+// schedule is fixed-length, so the engine can skip Done polls until it
+// ends.
+func (dp *dissemProto) MinDoneSlots() int64 { return dp.totalSlots() }

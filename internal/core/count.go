@@ -23,6 +23,10 @@ type countSchedule struct {
 	rounds        int
 	slotsPerRound int
 	threshold     float64
+	// probs[r] is the per-slot broadcast probability of round r,
+	// precomputed so the per-slot hot path does a load instead of a
+	// float division.
+	probs []float64
 }
 
 func (p Params) countSchedule() countSchedule {
@@ -30,11 +34,17 @@ func (p Params) countSchedule() countSchedule {
 	if slots < p.Tuning.CountMinRoundSlots {
 		slots = p.Tuning.CountMinRoundSlots
 	}
+	// Estimates go 1, 2, 4, … and must reach Δ: lgΔ+1 rounds.
+	rounds := p.LgDelta() + 1
+	probs := make([]float64, rounds)
+	for r := range probs {
+		probs[r] = 1 / float64(int64(1)<<uint(r))
+	}
 	return countSchedule{
-		// Estimates go 1, 2, 4, … and must reach Δ: lgΔ+1 rounds.
-		rounds:        p.LgDelta() + 1,
+		rounds:        rounds,
 		slotsPerRound: slots,
 		threshold:     p.Tuning.CountThreshold,
+		probs:         probs,
 	}
 }
 
@@ -46,19 +56,21 @@ func (s countSchedule) round(slot int) int { return slot / s.slotsPerRound }
 
 // broadcastProb returns the per-slot broadcast probability in round r:
 // 1/2^r (round 0 has estimate 1, probability 1).
-func (s countSchedule) broadcastProb(r int) float64 {
-	return 1 / float64(int64(1)<<uint(r))
-}
+func (s countSchedule) broadcastProb(r int) float64 { return s.probs[r] }
 
 // countListener accumulates the listener side of one COUNT execution.
 // It is embedded in CSEEK part-one steps and in the standalone
-// CountListen protocol.
+// CountListen protocol. It tracks its own position in the schedule
+// with incremental counters (no per-slot division); callers must feed
+// it exactly one observe per slot from the start of an execution.
 type countListener struct {
-	sched     countSchedule
-	heardIn   int  // messages heard in the current round
-	triggered bool // an estimate has been adopted
-	estimate  int64
-	distinct  map[radio.NodeID]struct{}
+	sched       countSchedule
+	heardIn     int  // messages heard in the current round
+	slotInRound int  // slots consumed in the current round
+	round       int  // current round index
+	triggered   bool // an estimate has been adopted
+	estimate    int64
+	distinct    map[radio.NodeID]struct{}
 }
 
 func newCountListener(sched countSchedule) countListener {
@@ -72,32 +84,40 @@ func newCountListener(sched countSchedule) countListener {
 // allocation.
 func (l *countListener) reset() {
 	l.heardIn = 0
+	l.slotInRound = 0
+	l.round = 0
 	l.triggered = false
 	l.estimate = 0
 	clear(l.distinct)
 }
 
 // observe processes the outcome of one slot (msg nil on silence or
-// collision). slot is the slot offset within this COUNT execution.
-func (l *countListener) observe(slot int, msg *radio.Message) {
+// collision).
+func (l *countListener) observe(msg *radio.Message) {
 	if msg != nil {
 		l.heardIn++
-		l.distinct[msg.From] = struct{}{}
+		// Access-before-assign: in steady state the sender is already
+		// known and a map read is cheaper than a rewrite.
+		if _, ok := l.distinct[msg.From]; !ok {
+			l.distinct[msg.From] = struct{}{}
+		}
 	}
-	if (slot+1)%l.sched.slotsPerRound != 0 {
+	l.slotInRound++
+	if l.slotInRound < l.sched.slotsPerRound {
 		return
 	}
 	// Round boundary: apply the trigger rule.
-	r := l.sched.round(slot)
 	if !l.triggered {
 		frac := float64(l.heardIn) / float64(l.sched.slotsPerRound)
 		if frac > l.sched.threshold {
 			l.triggered = true
-			// Estimate 2^(i+1) with i the 1-based round index r+1.
-			l.estimate = int64(1) << uint(r+2)
+			// Estimate 2^(i+1) with i the 1-based round index round+1.
+			l.estimate = int64(1) << uint(l.round+2)
 		}
 	}
 	l.heardIn = 0
+	l.slotInRound = 0
+	l.round++
 }
 
 // count returns the adopted estimate (see the package comment on the
@@ -141,7 +161,7 @@ func (c *CountListen) Act(_ int64) radio.Action {
 
 // Observe implements radio.Protocol.
 func (c *CountListen) Observe(_ int64, msg *radio.Message) {
-	c.l.observe(c.slot, msg)
+	c.l.observe(msg)
 	c.slot++
 }
 
@@ -162,10 +182,12 @@ func (c *CountListen) Heard() []radio.NodeID {
 
 // CountBroadcast is the standalone broadcaster protocol for COUNT.
 type CountBroadcast struct {
-	sched countSchedule
-	env   Env
-	ch    int
-	slot  int
+	sched       countSchedule
+	env         Env
+	ch          int
+	slot        int
+	round       int // current round, tracked incrementally
+	slotInRound int
 }
 
 var _ radio.Protocol = (*CountBroadcast)(nil)
@@ -181,15 +203,21 @@ func NewCountBroadcast(p Params, env Env, ch int) (*CountBroadcast, error) {
 
 // Act implements radio.Protocol.
 func (c *CountBroadcast) Act(_ int64) radio.Action {
-	r := c.sched.round(c.slot)
-	if c.env.Rand.Bernoulli(c.sched.broadcastProb(r)) {
+	if c.env.Rand.Bernoulli(c.sched.broadcastProb(c.round)) {
 		return radio.Action{Kind: radio.Broadcast, Ch: c.ch}
 	}
 	return radio.Action{Kind: radio.Idle}
 }
 
 // Observe implements radio.Protocol.
-func (c *CountBroadcast) Observe(_ int64, _ *radio.Message) { c.slot++ }
+func (c *CountBroadcast) Observe(_ int64, _ *radio.Message) {
+	c.slot++
+	c.slotInRound++
+	if c.slotInRound == c.sched.slotsPerRound && c.round+1 < c.sched.rounds {
+		c.round++
+		c.slotInRound = 0
+	}
+}
 
 // Done implements radio.Protocol.
 func (c *CountBroadcast) Done() bool { return c.slot >= c.sched.TotalSlots() }

@@ -84,7 +84,7 @@ func TestCountZeroBroadcasters(t *testing.T) {
 	}
 	l := newCountListener(p.countSchedule())
 	for s := 0; s < p.countSchedule().TotalSlots(); s++ {
-		l.observe(s, nil)
+		l.observe(nil)
 	}
 	if got := l.count(); got != 0 {
 		t.Errorf("count = %d for pure silence, want 0", got)
@@ -103,9 +103,9 @@ func TestCountListenerTriggerRule(t *testing.T) {
 	msg := &radio.Message{From: 7}
 	for s := 0; s < sched.TotalSlots(); s++ {
 		if sched.round(s) == 0 {
-			l.observe(s, msg)
+			l.observe(msg)
 		} else {
-			l.observe(s, nil)
+			l.observe(nil)
 		}
 	}
 	if got := l.count(); got != 4 {
@@ -124,9 +124,9 @@ func TestCountListenerLaterRound(t *testing.T) {
 	msg := &radio.Message{From: 3}
 	for s := 0; s < sched.TotalSlots(); s++ {
 		if sched.round(s) == 2 {
-			l.observe(s, msg)
+			l.observe(msg)
 		} else {
-			l.observe(s, nil)
+			l.observe(nil)
 		}
 	}
 	if got := l.count(); got != 16 {
@@ -148,9 +148,9 @@ func TestCountListenerBelowThresholdFallback(t *testing.T) {
 	l := newCountListener(sched)
 	for s := 0; s < sched.TotalSlots(); s++ {
 		if s == 1 {
-			l.observe(s, &radio.Message{From: 9})
+			l.observe(&radio.Message{From: 9})
 		} else {
-			l.observe(s, nil)
+			l.observe(nil)
 		}
 	}
 	if got := l.count(); got != 1 {

@@ -59,6 +59,10 @@ type CSeek struct {
 	// Payload, when non-nil, is attached to every broadcast frame (the
 	// exchange-primitive mode).
 	payload any
+	// frame is the pre-boxed SeekMessage carrying payload: boxing the
+	// struct into Action.Data once here instead of per Act keeps the
+	// engine's steady state allocation-free.
+	frame any
 
 	// recordChannels, when set, logs the local channel used in every
 	// slot; CGCAST needs the log to fix dedicated channels.
@@ -72,6 +76,8 @@ type CSeek struct {
 	isListener  bool
 	ch          int // local channel for this step
 	stepSlot    int // slot offset within the current step
+	p1Round     int // COUNT round within a part-one step, incremental
+	p1SlotInRnd int // slot within that round
 	counter     countListener
 	p2Broadcast []bool // precomputed back-off decisions for a part-two step
 
@@ -94,6 +100,7 @@ type seekSchedule struct {
 	p1Steps     int
 	p2Steps     int
 	count       countSchedule
+	countTotal  int // count.TotalSlots(), cached for the per-slot path
 	p2SlotsStep int
 }
 
@@ -141,18 +148,23 @@ func newSeek(p Params, env Env, p1Steps, p2Steps int) (*CSeek, error) {
 	if env.Rand == nil {
 		return nil, fmt.Errorf("core: env needs a random source")
 	}
+	count := p.countSchedule()
 	sched := seekSchedule{
 		p1Steps:     p1Steps,
 		p2Steps:     p2Steps,
-		count:       p.countSchedule(),
+		count:       count,
+		countTotal:  count.TotalSlots(),
 		p2SlotsStep: p.LgDelta(),
 	}
+	// The observed map tops out at the node's neighbor count; pre-size
+	// it to Δ so steady-state discovery never rehashes.
 	s := &CSeek{
 		params:   p,
 		env:      env,
 		sched:    sched,
+		frame:    SeekMessage{},
 		counts:   make([]int64, p.C),
-		observed: make(map[radio.NodeID]*SeekObservation),
+		observed: make(map[radio.NodeID]*SeekObservation, p.Delta),
 		counter:  newCountListener(sched.count),
 		stepKind: partOne,
 	}
@@ -165,7 +177,10 @@ func newSeek(p Params, env Env, p1Steps, p2Steps int) (*CSeek, error) {
 
 // SetPayload attaches a payload broadcast with every frame (exchange-
 // primitive mode). Must be called before the run starts.
-func (s *CSeek) SetPayload(data any) { s.payload = data }
+func (s *CSeek) SetPayload(data any) {
+	s.payload = data
+	s.frame = SeekMessage{Payload: data}
+}
 
 // RecordChannels enables the per-slot channel log needed by CGCAST's
 // dedicated-channel fixing. Must be called before the run starts.
@@ -176,6 +191,11 @@ func (s *CSeek) RecordChannels() {
 
 // TotalSlots returns the fixed length of this execution.
 func (s *CSeek) TotalSlots() int64 { return s.sched.totalSlots() }
+
+// MinDoneSlots implements radio.FixedSchedule: CSEEK's state machine
+// reaches `finished` exactly when its fixed schedule ends, never
+// earlier, so the engine may skip Done polls until then.
+func (s *CSeek) MinDoneSlots() int64 { return s.sched.totalSlots() }
 
 // PartOneSlots returns the slot count of part one (the density-
 // sampling part, O~((c²/k)·lg³n)).
@@ -196,6 +216,8 @@ func (s *CSeek) beginStep() {
 	case partOne:
 		s.ch = s.env.Rand.Intn(s.env.C)
 		s.isListener = s.env.Rand.Bool()
+		s.p1Round = 0
+		s.p1SlotInRnd = 0
 		s.counter.reset()
 	case partTwo:
 		s.isListener = s.env.Rand.Bool()
@@ -232,9 +254,8 @@ func (s *CSeek) Act(_ int64) radio.Action {
 		if s.isListener {
 			a = radio.Action{Kind: radio.Listen, Ch: s.ch}
 		} else {
-			r := s.sched.count.round(s.stepSlot)
-			if s.env.Rand.Bernoulli(s.sched.count.broadcastProb(r)) {
-				a = radio.Action{Kind: radio.Broadcast, Ch: s.ch, Data: SeekMessage{Payload: s.payload}}
+			if s.env.Rand.Bernoulli(s.sched.count.broadcastProb(s.p1Round)) {
+				a = radio.Action{Kind: radio.Broadcast, Ch: s.ch, Data: s.frame}
 			} else {
 				// Stay tuned to the step's channel while silent so the
 				// channel log stays meaningful.
@@ -245,7 +266,7 @@ func (s *CSeek) Act(_ int64) radio.Action {
 		if s.isListener {
 			a = radio.Action{Kind: radio.Listen, Ch: s.ch}
 		} else if s.p2Broadcast[s.stepSlot] {
-			a = radio.Action{Kind: radio.Broadcast, Ch: s.ch, Data: SeekMessage{Payload: s.payload}}
+			a = radio.Action{Kind: radio.Broadcast, Ch: s.ch, Data: s.frame}
 		} else {
 			a = radio.Action{Kind: radio.Idle, Ch: s.ch}
 		}
@@ -263,11 +284,16 @@ func (s *CSeek) Observe(_ int64, msg *radio.Message) {
 	switch s.stepKind {
 	case partOne:
 		if s.isListener {
-			s.counter.observe(s.stepSlot, msg)
+			s.counter.observe(msg)
 			s.note(msg)
 		}
 		s.stepSlot++
-		if s.stepSlot == s.sched.count.TotalSlots() {
+		s.p1SlotInRnd++
+		if s.p1SlotInRnd == s.sched.count.slotsPerRound {
+			s.p1Round++
+			s.p1SlotInRnd = 0
+		}
+		if s.stepSlot == s.sched.countTotal {
 			if s.isListener {
 				c := s.counter.count()
 				s.counts[s.ch] += c

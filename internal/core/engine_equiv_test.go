@@ -121,6 +121,7 @@ func TestCrossEngineEquivalenceUnderJammers(t *testing.T) {
 					delta:    p.Delta,
 					informed: u == 0,
 					msg:      "m",
+					frame:    dissemMessage{Body: "m"},
 				}
 				dps[u] = dp
 				protos[u] = dp

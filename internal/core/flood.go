@@ -18,6 +18,9 @@ type Flood struct {
 	delta    int
 	informed bool
 	msg      any
+	// frame is the pre-boxed dissemMessage carrying msg, refreshed
+	// when the node learns the message, so Act never allocates.
+	frame any
 
 	slot       int64
 	maxSlots   int64
@@ -45,6 +48,7 @@ func NewFlood(p Params, env Env, d int, informed bool, msg any) (*Flood, error) 
 		delta:      p.Delta,
 		informed:   informed,
 		msg:        msg,
+		frame:      dissemMessage{Body: msg},
 		maxSlots:   int64(scaledSteps(p.Tuning.NaiveSlots, ceilDiv(p.C*p.C, p.K)*d, p.LgN())),
 		informedAt: -1,
 	}, nil
@@ -61,7 +65,7 @@ func (f *Flood) Act(_ int64) radio.Action {
 	// Informed nodes broadcast with probability 1/2: the paper's naive
 	// strategy has no contention estimate to do better with.
 	if f.env.Rand.Bool() {
-		return radio.Action{Kind: radio.Broadcast, Ch: ch, Data: dissemMessage{Body: f.msg}}
+		return radio.Action{Kind: radio.Broadcast, Ch: ch, Data: f.frame}
 	}
 	return radio.Action{Kind: radio.Idle, Ch: ch}
 }
@@ -73,6 +77,7 @@ func (f *Flood) Observe(_ int64, msg *radio.Message) {
 			f.informed = true
 			f.informedAt = f.slot
 			f.msg = dm.Body
+			f.frame = dissemMessage{Body: dm.Body}
 		}
 	}
 	f.slot++
@@ -89,6 +94,10 @@ func (f *Flood) InformedAt() int64 { return f.informedAt }
 
 // TotalSlots returns the schedule budget.
 func (f *Flood) TotalSlots() int64 { return f.maxSlots }
+
+// MinDoneSlots implements radio.FixedSchedule: Done fires exactly at
+// the schedule budget (a node keeps flooding even once informed).
+func (f *Flood) MinDoneSlots() int64 { return f.maxSlots }
 
 // RunFlood executes the flooding baseline until every node is informed
 // or the budget runs out; it returns the slot at which the last node
@@ -118,7 +127,7 @@ type FloodResult struct {
 }
 
 // RunFloodCtx is RunFlood with cooperative cancellation (ctx is
-// checked before every simulated slot) and a richer result.
+// polled throughout the run) and a richer result.
 func RunFloodCtx(ctx context.Context, nw *radio.Network, p Params, d int, source radio.NodeID, msg any, seed uint64) (*FloodResult, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err

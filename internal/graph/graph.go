@@ -13,6 +13,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"crn/internal/bitset"
 )
 
 // Graph is an undirected simple graph on vertices 0..N-1.
@@ -22,6 +24,27 @@ type Graph struct {
 	adj   [][]int32 // sorted after Finalize
 	edges []Edge    // each with U < V
 	final bool
+	// nbr is the dense adjacency matrix maintained by AddEdge for
+	// graphs with at most maxMatrixNodes vertices (allocated lazily on
+	// the first edge). It makes duplicate detection and the radio
+	// engine's adjacency probes O(1) with no hashing.
+	nbr *bitset.Matrix
+	// edgeSet indexes edges by packed (U,V) key for graphs too large
+	// for a dense matrix; nil while nbr is in use.
+	edgeSet map[uint64]struct{}
+}
+
+// maxMatrixNodes caps the dense adjacency matrix: n²/8 bytes of
+// backing store, so 8192 nodes → 8 MiB. Larger graphs fall back to a
+// hash-set edge index.
+const maxMatrixNodes = 8192
+
+// edgeKey packs an undirected edge into a map key (order-insensitive).
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
 }
 
 // Edge is an undirected edge with U < V.
@@ -34,10 +57,14 @@ func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
-	return &Graph{
+	g := &Graph{
 		n:   n,
 		adj: make([][]int32, n),
 	}
+	if n > maxMatrixNodes {
+		g.edgeSet = make(map[uint64]struct{})
+	}
+	return g
 }
 
 // N returns the number of vertices.
@@ -47,13 +74,19 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return len(g.edges) }
 
 // AddEdge inserts the undirected edge {u, v}. It returns an error for
-// self-loops, out-of-range endpoints, or duplicate edges.
+// self-loops, out-of-range endpoints, or duplicate edges. The
+// duplicate check is O(1) — a dense bit-matrix probe (hash-set lookup
+// for graphs above maxMatrixNodes) — so generating a dense graph is
+// O(m), not O(m·Δ).
 func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if g.nbr == nil && g.edgeSet == nil {
+		g.nbr = bitset.NewMatrix(g.n, g.n)
 	}
 	if g.HasEdge(u, v) {
 		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
@@ -64,6 +97,12 @@ func (g *Graph) AddEdge(u, v int) error {
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
 	g.edges = append(g.edges, Edge{U: int32(u), V: int32(v)})
+	if g.edgeSet != nil {
+		g.edgeSet[edgeKey(u, v)] = struct{}{}
+	} else {
+		g.nbr.Set(u, v)
+		g.nbr.Set(v, u)
+	}
 	g.final = false
 	return nil
 }
@@ -76,23 +115,45 @@ func (g *Graph) MustAddEdge(u, v int) {
 	}
 }
 
-// HasEdge reports whether {u, v} is an edge.
+// HasEdge reports whether {u, v} is an edge, in O(1).
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return false
 	}
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a = g.adj[v]
-		v = u
+	if g.nbr != nil {
+		return g.nbr.Get(u, v)
 	}
-	for _, w := range a {
-		if int(w) == v {
-			return true
+	_, ok := g.edgeSet[edgeKey(u, v)]
+	return ok
+}
+
+// Adjacent reports whether {u, v} is an edge, on the fastest path the
+// finalized structure offers: an O(1) matrix probe when the dense
+// neighbor matrix exists, otherwise an O(log Δ) binary search of u's
+// sorted adjacency list. It must only be called after Finalize with
+// in-range vertices (the radio engine finalizes its graph on
+// construction); for unfinalized graphs or unchecked input use
+// HasEdge.
+func (g *Graph) Adjacent(u, v int) bool {
+	if g.nbr != nil {
+		return g.nbr.Get(u, v)
+	}
+	a := g.adj[u]
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(a[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	return lo < len(a) && int(a[lo]) == v
 }
+
+// NeighborMatrix returns the dense adjacency matrix, or nil when the
+// graph is too large for one (above maxMatrixNodes vertices).
+func (g *Graph) NeighborMatrix() *bitset.Matrix { return g.nbr }
 
 // Neighbors returns the adjacency list of u. The caller must not
 // modify the returned slice.

@@ -448,3 +448,90 @@ func BenchmarkLineGraph(b *testing.B) {
 		_, _ = g.LineGraph()
 	}
 }
+
+// BenchmarkGNPDense measures dense random-graph generation, which is
+// dominated by AddEdge's duplicate check.
+func BenchmarkGNPDense(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := GNP(512, 0.5, rng.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.M() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkRandomRegularish measures the HasEdge-heavy chord generator.
+func BenchmarkRandomRegularish(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := RandomRegularish(512, 16, rng.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.M() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// TestAdjacentMatchesHasEdge checks the finalized fast paths (dense
+// matrix below the node cap, binary search above it) against the
+// reference edge index.
+func TestAdjacentMatchesHasEdge(t *testing.T) {
+	g, err := GNP(60, 0.3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NeighborMatrix() == nil {
+		t.Fatal("small graph should carry the dense neighbor matrix")
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if got, want := g.Adjacent(u, v), g.HasEdge(u, v); got != want {
+				t.Fatalf("Adjacent(%d,%d) = %v, HasEdge = %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestHugeGraphFallsBackToEdgeSet checks graphs above maxMatrixNodes:
+// no dense matrix, O(1) HasEdge via the hash index, and Adjacent via
+// binary search after Finalize.
+func TestHugeGraphFallsBackToEdgeSet(t *testing.T) {
+	n := maxMatrixNodes + 10
+	g := Path(n)
+	if g.NeighborMatrix() != nil {
+		t.Fatal("huge graph built a dense matrix")
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted on the edge-set path")
+	}
+	if !g.HasEdge(5, 6) || g.HasEdge(5, 7) {
+		t.Error("HasEdge wrong on the edge-set path")
+	}
+	if !g.Adjacent(5, 6) || g.Adjacent(5, 7) {
+		t.Error("Adjacent wrong on the binary-search path")
+	}
+}
+
+// TestAddEdgeDuplicateDetection pins the O(1) duplicate check across
+// construction orders.
+func TestAddEdgeDuplicateDetection(t *testing.T) {
+	g := New(5)
+	if err := g.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(3, 1); err == nil {
+		t.Error("reversed duplicate accepted")
+	}
+	if err := g.AddEdge(1, 3); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d after rejected duplicates, want 1", g.M())
+	}
+}

@@ -27,7 +27,9 @@ type Transceiver struct {
 
 // Step performs one slot with the given action and returns the message
 // heard (nil unless the action was Listen and exactly one neighbor
-// broadcast on the chosen channel).
+// broadcast on the chosen channel). The returned message is a
+// node-private copy that stays valid until this transceiver's next
+// Step call.
 func (t *Transceiver) Step(a Action) *Message {
 	t.actionCh <- a
 	res := <-t.resultCh
@@ -68,6 +70,7 @@ type GoProtocol struct {
 	buffered *Action // next action, received ahead of Act
 	awaiting bool    // an Act was handed out; Observe owes a result
 	slot     int64   // slot of the outstanding action
+	msgCopy  Message // node-private copy of the last heard frame
 }
 
 var _ Protocol = (*GoProtocol)(nil)
@@ -115,7 +118,14 @@ func (p *GoProtocol) Observe(_ int64, msg *Message) {
 		return
 	}
 	p.awaiting = false
-	p.t.resultCh <- stepResult{msg: msg, slot: p.slot}
+	// The engine's msg is only valid during this call; hand the node
+	// program a private copy it may keep until its next Step.
+	var out *Message
+	if msg != nil {
+		p.msgCopy = *msg
+		out = &p.msgCopy
+	}
+	p.t.resultCh <- stepResult{msg: out, slot: p.slot}
 	p.await()
 }
 

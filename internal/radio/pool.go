@@ -1,0 +1,109 @@
+package radio
+
+import "sync"
+
+// This file implements the persistent worker pool behind RunParallel:
+// a fixed set of goroutines, spawned once per run, that execute the
+// parallel phases of every slot. The previous engine spawned
+// 2×workers goroutines and allocated a []Stats every slot; the pool
+// replaces that with barrier-synchronized phase dispatch over
+// long-lived workers, so steady-state slots allocate nothing.
+//
+// Lifecycle: newPool spawns the workers, each owning a fixed node
+// range [lo, hi), a private Stats block, and a private Message
+// scratch. The coordinator drives each slot by broadcasting a phase
+// command (collect or resolve) to every worker and waiting on a
+// WaitGroup barrier; between the barriers it runs the sequential
+// index/activity/done bookkeeping, so workers never race on shared
+// engine state. drain folds the per-worker counters into the engine's
+// Stats (workers are quiescent whenever the coordinator runs), and
+// stop closes the command channels, letting the goroutines exit.
+//
+// Memory model: every cross-worker read (e.g. a resolver reading a
+// broadcaster's Action collected by another worker) is ordered by the
+// barrier — worker wg.Done happens-before the coordinator's wg.Wait,
+// which happens-before the next phase's channel send.
+
+// phase is a pool command: one parallel stage of a slot.
+type phase uint8
+
+const (
+	phaseCollect phase = iota + 1
+	phaseResolve
+)
+
+// pool is the persistent worker pool for one RunParallelCtx call.
+type pool struct {
+	cmds  []chan phase // one per worker; closing stops the worker
+	wg    sync.WaitGroup
+	stats []Stats // per-worker counters, drained by the coordinator
+	// segs[w] is worker w's collect-phase broadcaster buffer; the
+	// segments concatenate in ascending node order, exactly the shape
+	// Engine.buildIndex consumes.
+	segs [][]int32
+}
+
+// newPool spawns workers goroutines over contiguous node ranges.
+// Callers guarantee 2 <= workers <= n.
+func newPool(e *Engine, workers int) *pool {
+	n := len(e.protocols)
+	p := &pool{
+		cmds:  make([]chan phase, workers),
+		stats: make([]Stats, workers),
+		segs:  make([][]int32, workers),
+	}
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		p.segs[w] = make([]int32, 0, hi-lo)
+		cmd := make(chan phase, 1)
+		p.cmds[w] = cmd
+		go func(w, lo, hi int) {
+			var scratch Message
+			for ph := range cmd {
+				switch ph {
+				case phaseCollect:
+					p.segs[w] = e.collectActions(lo, hi, p.segs[w][:0])
+				case phaseResolve:
+					e.resolveAndObserve(lo, hi, &p.stats[w], &scratch)
+				}
+				p.wg.Done()
+			}
+		}(w, lo, hi)
+	}
+	return p
+}
+
+// runPhase dispatches one phase to every worker and waits for all of
+// them to finish (the barrier). It allocates nothing.
+func (p *pool) runPhase(ph phase) {
+	p.wg.Add(len(p.cmds))
+	for _, cmd := range p.cmds {
+		cmd <- ph
+	}
+	p.wg.Wait()
+}
+
+// drain folds the per-worker counters into st and zeroes them. Only
+// call between phases (workers quiescent).
+func (p *pool) drain(st *Stats) {
+	for w := range p.stats {
+		st.Accumulate(p.stats[w])
+		p.stats[w] = Stats{}
+	}
+}
+
+// stop shuts the pool down; the workers exit once their command
+// channels close. Safe to call once, after the final drain.
+func (p *pool) stop() {
+	for _, cmd := range p.cmds {
+		close(cmd)
+	}
+}

@@ -12,16 +12,39 @@
 // Protocols are written against the Protocol interface and stepped by
 // an Engine. Two engines are provided with identical semantics: a
 // sequential engine (Run) and a goroutine-parallel engine
-// (RunParallel) that fans the per-node work out to workers; results are
-// bit-identical because randomness lives in per-node streams.
+// (RunParallel) that fans the per-node work out to a persistent pool
+// of workers; results are bit-identical because randomness lives in
+// per-node streams and both engines share one slot-resolution core.
+//
+// # Slot anatomy
+//
+// Both engines execute a slot in three phases:
+//
+//  1. Collect: every live protocol's Act is called and its chosen
+//     global channel resolved (parallel across nodes under
+//     RunParallel).
+//  2. Index: broadcasters are bucketed by global channel into a
+//     compact per-slot index — a count per channel plus an intrusive
+//     per-channel broadcaster list (sequential; O(broadcasters)).
+//  3. Resolve/observe: every live protocol's Observe is called with
+//     the delivery outcome (parallel across nodes under RunParallel).
+//     A listener on a channel with zero broadcasters resolves to
+//     silence in O(1); with one broadcaster, via a single O(1)/O(log Δ)
+//     adjacency probe; only genuinely contended channels walk the
+//     shorter of the channel's broadcaster list and the listener's
+//     neighbor list.
+//
+// After phase 3 the engine feeds reactive jammers (ActivitySink),
+// refreshes completion flags, and advances the slot counter in its
+// sequential section.
 package radio
 
 import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
+	"crn/internal/bitset"
 	"crn/internal/chanassign"
 	"crn/internal/graph"
 )
@@ -41,6 +64,10 @@ const (
 
 // Message is a frame delivered by the radio. Data is protocol-defined;
 // the engine treats it opaquely.
+//
+// A *Message handed to Observe or a TraceFunc is only valid for the
+// duration of the call: the engine reuses the backing storage for
+// later deliveries. Implementations must copy the fields they keep.
 type Message struct {
 	From NodeID
 	Data any
@@ -58,12 +85,29 @@ type Action struct {
 //
 // Each slot the engine calls Act once, resolves the radio, then calls
 // Observe exactly once: msg is non-nil iff the node listened and heard
-// a message (exactly one broadcasting neighbor on its channel). The
-// engine never calls Act again after Done reports true.
+// a message (exactly one broadcasting neighbor on its channel). msg and
+// its fields are only valid during the Observe call — the engine
+// reuses the Message storage — so protocols keeping a frame must copy
+// it. The engine never calls Act again after Done reports true.
 type Protocol interface {
 	Act(slot int64) Action
 	Observe(slot int64, msg *Message)
 	Done() bool
+}
+
+// FixedSchedule is optionally implemented by protocols whose Done
+// cannot report true before a statically known number of observed
+// slots. The engine then skips the per-slot Done poll until that many
+// slots have elapsed — a measurable saving, since polling is an
+// interface call per live node per slot. MinDoneSlots is a lower
+// bound on the protocol's lifetime, not necessarily exact: Done is
+// still polled every slot once the bound has passed. The method name
+// is deliberately distinct from the common TotalSlots schedule
+// accessor so protocols opt in explicitly — implementing MinDoneSlots
+// asserts that Done() is false whenever fewer than that many slots
+// have been observed.
+type FixedSchedule interface {
+	MinDoneSlots() int64
 }
 
 // Stats aggregates engine counters for one run.
@@ -88,7 +132,8 @@ type Stats struct {
 
 // Accumulate adds o's slot and counter fields into s — the helper
 // multi-engine pipelines (CGCAST's setup stages plus dissemination)
-// use to report one combined Stats. Completed is left untouched.
+// and the worker pool's stats merge use to combine Stats. Completed is
+// left untouched.
 func (s *Stats) Accumulate(o Stats) {
 	s.Slots += o.Slots
 	s.Broadcasts += o.Broadcasts
@@ -100,7 +145,8 @@ func (s *Stats) Accumulate(o Stats) {
 }
 
 // TraceFunc observes every delivery the engine resolves, for debugging
-// and the crntrace tool. It runs on the engine goroutine.
+// and the crntrace tool. msg is only valid during the call (the engine
+// reuses the storage); copy what you keep.
 type TraceFunc func(slot int64, listener NodeID, globalCh int32, msg *Message)
 
 // Jammer reports primary-user occupancy per (slot, global channel).
@@ -117,8 +163,10 @@ type Jammer interface {
 // secondary-user activity (adversarial models). After every slot
 // resolves, the engine calls ObserveActivity exactly once from its
 // sequential section with the number of broadcasts per global channel
-// for that slot. The slice is a scratch buffer the engine reuses;
-// implementations must copy what they keep. Because the engine only
+// for that slot. The slice is a read-only scratch buffer the engine
+// reuses — implementations must copy what they keep and must not
+// write into it (the engine only re-zeroes the entries it set, so a
+// stray write would persist as phantom activity). Because the engine only
 // queries Jammed for slots after the latest ObserveActivity call's
 // slot, reactive jammers see activity with at least a one-slot delay —
 // the adversary can sense, but not react within a slot.
@@ -162,9 +210,39 @@ type Engine struct {
 	actions  []Action
 	globalCh []int32 // resolved global channel per node, -1 when idle
 	done     []bool
-	nDone    int
-	slot     int64
-	stats    Stats
+	// doneAt[u] is the earliest observed-slot count at which protocol
+	// u may report Done (from FixedSchedule; 0 when unknown). minDoneAt
+	// is the minimum over live protocols, letting refreshDone skip the
+	// whole scan during a homogeneous schedule's steady state.
+	doneAt    []int64
+	minDoneAt int64
+	nDone     int
+	slot      int64
+	stats     Stats
+
+	// Per-slot channel index (the "index" phase): chCount[ch] is the
+	// number of broadcasters on global channel ch (zero for channels
+	// not in touched), and chHead[ch]/bcastNext thread them into a
+	// per-channel list (chHead[ch] is one broadcaster, bcastNext[v]
+	// the next, -1 ends the list) built in one pass.
+	chCount   []int32
+	chHead    []int32
+	bcastNext []int32
+	touched   []int32
+	// bcasters is the sequential engine's collect-phase broadcaster
+	// buffer; seqSegs wraps it in the segment shape buildIndex takes
+	// (the pool passes per-worker segments instead).
+	bcasters []int32
+	seqSegs  [][]int32
+
+	// nbr is the graph's dense adjacency matrix (nil on huge graphs,
+	// where the engine binary-searches sorted adjacency instead).
+	nbr *bitset.Matrix
+
+	// scratchMsg backs every delivery the sequential engine hands to
+	// Observe; pool workers carry their own. Reuse is why the Observe
+	// contract limits message lifetime to the call.
+	scratchMsg Message
 
 	// activity feed for reactive jammers (nil when the jammer is not an
 	// ActivitySink): broadcast count per global channel, reused per slot.
@@ -173,7 +251,9 @@ type Engine struct {
 }
 
 // NewEngine constructs an engine for the given network and per-node
-// protocols (len must equal the node count).
+// protocols (len must equal the node count). It finalizes the graph
+// (idempotent) so adjacency queries can use the sorted or bit-matrix
+// fast paths.
 func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
@@ -181,18 +261,40 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 	if len(protocols) != nw.Graph.N() {
 		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(protocols), nw.Graph.N())
 	}
+	nw.Graph.Finalize()
 	n := nw.Graph.N()
+	u := nw.Assign.Universe
 	e := &Engine{
 		nw:        nw,
 		protocols: protocols,
 		actions:   make([]Action, n),
 		globalCh:  make([]int32, n),
 		done:      make([]bool, n),
+		doneAt:    make([]int64, n),
+		chCount:   make([]int32, u),
+		chHead:    make([]int32, u),
+		bcastNext: make([]int32, n),
+		touched:   make([]int32, 0, u),
+		bcasters:  make([]int32, 0, n),
+		seqSegs:   make([][]int32, 1),
+		nbr:       nw.Graph.NeighborMatrix(),
 		trace:     nw.Trace,
+	}
+	for i := range e.chHead {
+		e.chHead[i] = -1
+	}
+	e.minDoneAt = -1
+	for i, p := range protocols {
+		if fs, ok := p.(FixedSchedule); ok {
+			e.doneAt[i] = fs.MinDoneSlots()
+		}
+		if e.minDoneAt < 0 || e.doneAt[i] < e.minDoneAt {
+			e.minDoneAt = e.doneAt[i]
+		}
 	}
 	if sink, ok := nw.Jammer.(ActivitySink); ok {
 		e.sink = sink
-		e.activity = make([]int, nw.Assign.Universe)
+		e.activity = make([]int, u)
 	}
 	return e, nil
 }
@@ -225,17 +327,18 @@ func (e *Engine) RunUntil(maxSlots int64, stop func(slot int64) bool) Stats {
 }
 
 // RunUntilCtx is RunUntil with cooperative cancellation: the context is
-// checked before every slot, and a cancelled run returns the stats
-// accumulated so far together with ctx.Err(). A nil ctx means
-// context.Background(). This is the cancellation point every facade
-// primitive and the sweep engine thread their contexts down to.
+// polled every ctxCheckMask+1 slots (slots are sub-microsecond, so
+// cancellation still lands within microseconds), and a cancelled run
+// returns the stats accumulated so far together with ctx.Err(). A nil
+// ctx means context.Background(). This is the cancellation point every
+// facade primitive and the sweep engine thread their contexts down to.
 func (e *Engine) RunUntilCtx(ctx context.Context, maxSlots int64, stop func(slot int64) bool) (Stats, error) {
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
 	for e.slot < maxSlots && e.nDone < len(e.protocols) {
-		if done != nil {
+		if done != nil && e.slot&ctxCheckMask == 0 {
 			select {
 			case <-done:
 				e.stats.Completed = false
@@ -243,7 +346,7 @@ func (e *Engine) RunUntilCtx(ctx context.Context, maxSlots int64, stop func(slot
 			default:
 			}
 		}
-		e.step(0, len(e.protocols))
+		e.step()
 		e.slot++
 		e.stats.Slots = e.slot
 		if stop != nil && stop(e.slot) {
@@ -254,10 +357,31 @@ func (e *Engine) RunUntilCtx(ctx context.Context, maxSlots int64, stop func(slot
 	return e.stats, nil
 }
 
+// ctxCheckMask spaces out the engines' cancellation polls: a
+// non-blocking channel select costs tens of nanoseconds, which is
+// comparable to a small slot, so polling every slot taxes the hot
+// loop measurably. Polling every 16th slot keeps cancellation latency
+// in the microseconds while making the poll cost invisible.
+const ctxCheckMask = 15
+
 // RunParallel executes the same semantics as Run but fans the per-node
-// Act/Observe work out to `workers` goroutines (0 means GOMAXPROCS).
-// Results are identical to Run for the same protocols and seeds.
+// Act/Observe work out to a persistent pool of `workers` goroutines
+// (0 means GOMAXPROCS). Results are identical to Run for the same
+// protocols and seeds.
 func (e *Engine) RunParallel(maxSlots int64, workers int) Stats {
+	st, _ := e.RunParallelCtx(context.Background(), maxSlots, workers)
+	return st
+}
+
+// RunParallelCtx is RunParallel with cooperative cancellation,
+// mirroring RunUntilCtx: the context is polled every ctxCheckMask+1
+// slots, and a cancelled run returns the stats accumulated so far
+// together with ctx.Err(). A nil ctx means context.Background().
+//
+// The worker pool is spawned once per call and synchronizes the
+// collect and resolve phases with barriers; per-slot work allocates
+// nothing.
+func (e *Engine) RunParallelCtx(ctx context.Context, maxSlots int64, workers int) (Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -266,168 +390,261 @@ func (e *Engine) RunParallel(maxSlots int64, workers int) Stats {
 		workers = n
 	}
 	if workers <= 1 {
-		return e.Run(maxSlots)
+		return e.RunUntilCtx(ctx, maxSlots, nil)
 	}
-	var wg sync.WaitGroup
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	p := newPool(e, workers)
+	defer p.stop()
 	for e.slot < maxSlots && e.nDone < n {
-		// Phase 1: collect actions in parallel.
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
+		if done != nil && e.slot&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				p.drain(&e.stats)
+				e.stats.Completed = false
+				return e.stats, ctx.Err()
+			default:
 			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				e.collectActions(lo, hi)
-			}(lo, hi)
 		}
-		wg.Wait()
-		// Phase 2: resolve and observe in parallel. Resolution only
-		// reads actions/globalCh, so listeners can resolve concurrently;
-		// per-node counters are merged below.
-		sub := make([]Stats, workers)
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				e.resolveAndObserve(lo, hi, &sub[w])
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for i := range sub {
-			e.stats.Broadcasts += sub[i].Broadcasts
-			e.stats.Listens += sub[i].Listens
-			e.stats.Idles += sub[i].Idles
-			e.stats.Deliveries += sub[i].Deliveries
-			e.stats.Collisions += sub[i].Collisions
-			e.stats.JammedListens += sub[i].JammedListens
-		}
-		// Phase 3: activity feed + completion scan (cheap, sequential).
+		p.runPhase(phaseCollect)
+		e.buildIndex(p.segs)
+		p.runPhase(phaseResolve)
 		e.feedActivity()
+		e.resetIndex()
 		e.refreshDone()
 		e.slot++
 		e.stats.Slots = e.slot
 	}
+	p.drain(&e.stats)
 	e.stats.Completed = e.nDone == n
-	return e.stats
+	return e.stats, nil
 }
 
-// step runs one full slot sequentially.
-func (e *Engine) step(lo, hi int) {
-	e.collectActions(lo, hi)
-	e.resolveAndObserve(lo, hi, &e.stats)
+// step runs one full slot sequentially through the shared
+// collect → index → resolve/observe core.
+func (e *Engine) step() {
+	n := len(e.protocols)
+	e.bcasters = e.collectActions(0, n, e.bcasters[:0])
+	e.seqSegs[0] = e.bcasters
+	e.buildIndex(e.seqSegs)
+	e.resolveAndObserve(0, n, &e.stats, &e.scratchMsg)
 	e.feedActivity()
+	e.resetIndex()
 	e.refreshDone()
 }
 
 // feedActivity reports the slot's broadcast counts per global channel
 // to a reactive jammer. It runs in the engines' sequential sections
 // (after the slot resolves, before the next slot's Jammed queries), so
-// Run and RunParallel feed identical sequences.
+// Run and RunParallel feed identical sequences. The activity slice is
+// zero outside the call: touched entries are filled from the channel
+// index and cleared again afterwards, so the cost is O(active
+// channels), not O(universe).
 func (e *Engine) feedActivity() {
 	if e.sink == nil {
 		return
 	}
-	for ch := range e.activity {
-		e.activity[ch] = 0
-	}
-	for u := range e.actions {
-		if e.actions[u].Kind == Broadcast {
-			if ch := e.globalCh[u]; ch >= 0 && int(ch) < len(e.activity) {
-				e.activity[ch]++
-			}
-		}
+	for _, ch := range e.touched {
+		e.activity[ch] = int(e.chCount[ch])
 	}
 	e.sink.ObserveActivity(e.slot, e.activity)
-}
-
-func (e *Engine) collectActions(lo, hi int) {
-	for u := lo; u < hi; u++ {
-		if e.done[u] {
-			e.actions[u] = Action{Kind: Idle}
-			e.globalCh[u] = -1
-			continue
-		}
-		a := e.protocols[u].Act(e.slot)
-		e.actions[u] = a
-		if a.Kind == Idle {
-			e.globalCh[u] = -1
-			continue
-		}
-		e.globalCh[u] = e.nw.Assign.Global(u, a.Ch)
+	for _, ch := range e.touched {
+		e.activity[ch] = 0
 	}
 }
 
-func (e *Engine) resolveAndObserve(lo, hi int, st *Stats) {
-	g := e.nw.Graph
+// collectActions runs the collect phase over nodes [lo, hi),
+// appending the ids of broadcasting nodes to buf (the index phase's
+// input) and returning the extended slice. Callers pass a pre-sized
+// buffer so steady-state slots allocate nothing.
+func (e *Engine) collectActions(lo, hi int, buf []int32) []int32 {
+	// Hoist the hot slices into locals: the Act interface call forces
+	// field reloads otherwise.
+	assign := e.nw.Assign
+	slot := e.slot
+	done := e.done
+	actions := e.actions
+	globalCh := e.globalCh
+	protocols := e.protocols
 	for u := lo; u < hi; u++ {
-		if e.done[u] {
+		if done[u] {
+			actions[u] = Action{Kind: Idle}
+			globalCh[u] = -1
 			continue
 		}
-		switch e.actions[u].Kind {
+		a := protocols[u].Act(slot)
+		actions[u] = a
+		if a.Kind == Idle {
+			globalCh[u] = -1
+			continue
+		}
+		globalCh[u] = assign.Global(u, a.Ch)
+		if a.Kind == Broadcast {
+			buf = append(buf, int32(u))
+		}
+	}
+	return buf
+}
+
+// buildIndex buckets this slot's broadcasters by global channel: the
+// index phase. segs holds the collect phase's broadcaster ids (one
+// segment per collector). One pass threads each broadcaster into its
+// channel's list; it runs in the engines' sequential sections between
+// the collect and resolve phases, costs O(broadcasters), and
+// allocates nothing (all scratch is engine-owned and pre-sized).
+func (e *Engine) buildIndex(segs [][]int32) {
+	for _, seg := range segs {
+		for _, u := range seg {
+			ch := e.globalCh[u]
+			head := e.chHead[ch]
+			if head < 0 {
+				e.touched = append(e.touched, ch)
+			}
+			e.bcastNext[u] = head
+			e.chHead[ch] = u
+			e.chCount[ch]++
+		}
+	}
+}
+
+// resetIndex clears the per-slot channel index, touching only the
+// channels that were active.
+func (e *Engine) resetIndex() {
+	for _, ch := range e.touched {
+		e.chCount[ch] = 0
+		e.chHead[ch] = -1
+	}
+	e.touched = e.touched[:0]
+}
+
+// adjacent reports whether v is a neighbor of u: the cached dense
+// matrix when the graph built one, otherwise graph.Adjacent's sorted
+// binary search.
+func (e *Engine) adjacent(u int, v int32) bool {
+	if e.nbr != nil {
+		return e.nbr.Get(u, int(v))
+	}
+	return e.nw.Graph.Adjacent(u, int(v))
+}
+
+// resolveAndObserve is the resolve phase over nodes [lo, hi): it
+// consults the channel index to decide what each listener hears and
+// delivers exactly one Observe per live protocol. scratch backs every
+// delivered Message (per worker under the pool), which is why the
+// Observe contract limits message lifetime to the call.
+func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
+	// Hoist the hot slices into locals: the Observe interface calls
+	// force field reloads otherwise.
+	g := e.nw.Graph
+	jam := e.nw.Jammer
+	slot := e.slot
+	done := e.done
+	actions := e.actions
+	globalCh := e.globalCh
+	protocols := e.protocols
+	chCount := e.chCount
+	chHead := e.chHead
+	bcastNext := e.bcastNext
+	for u := lo; u < hi; u++ {
+		if done[u] {
+			continue
+		}
+		switch actions[u].Kind {
 		case Idle:
 			st.Idles++
-			e.protocols[u].Observe(e.slot, nil)
+			protocols[u].Observe(slot, nil)
 		case Broadcast:
 			st.Broadcasts++
-			e.protocols[u].Observe(e.slot, nil)
+			protocols[u].Observe(slot, nil)
 		case Listen:
 			st.Listens++
-			ch := e.globalCh[u]
-			if e.nw.Jammer != nil && e.nw.Jammer.Jammed(e.slot, ch) {
+			ch := globalCh[u]
+			if jam != nil && jam.Jammed(slot, ch) {
 				st.JammedListens++
-				e.protocols[u].Observe(e.slot, nil)
+				protocols[u].Observe(slot, nil)
 				continue
 			}
-			var heard *Message
+			cnt := chCount[ch]
+			if cnt == 0 {
+				// Fast path: nobody anywhere broadcast on this channel.
+				protocols[u].Observe(slot, nil)
+				continue
+			}
+			nbrs := g.Neighbors(u)
 			talkers := 0
-			for _, v := range g.Neighbors(u) {
-				if e.actions[v].Kind == Broadcast && e.globalCh[v] == ch {
-					talkers++
-					if talkers > 1 {
-						break
+			var from int32 = -1
+			if int(cnt) <= len(nbrs) {
+				// Walk the channel's broadcaster list (covers the
+				// sole-talker case with a single adjacency probe).
+				for v := chHead[ch]; v >= 0; v = bcastNext[v] {
+					if e.adjacent(u, v) {
+						talkers++
+						if talkers > 1 {
+							break
+						}
+						from = v
 					}
-					heard = &Message{From: NodeID(v), Data: e.actions[v].Data}
+				}
+			} else {
+				// More broadcasters on the channel than the listener has
+				// neighbors: walk the neighbor list instead.
+				for _, v := range nbrs {
+					if actions[v].Kind == Broadcast && globalCh[v] == ch {
+						talkers++
+						if talkers > 1 {
+							break
+						}
+						from = v
+					}
 				}
 			}
 			switch {
 			case talkers == 1:
 				st.Deliveries++
+				scratch.From = NodeID(from)
+				scratch.Data = actions[from].Data
 				if e.trace != nil {
-					e.trace(e.slot, NodeID(u), ch, heard)
+					e.trace(slot, NodeID(u), ch, scratch)
 				}
-				e.protocols[u].Observe(e.slot, heard)
+				protocols[u].Observe(slot, scratch)
 			case talkers > 1:
 				st.Collisions++
-				e.protocols[u].Observe(e.slot, nil)
+				protocols[u].Observe(slot, nil)
 			default:
-				e.protocols[u].Observe(e.slot, nil)
+				protocols[u].Observe(slot, nil)
 			}
 		default:
-			panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", u, e.actions[u].Kind))
+			panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", u, actions[u].Kind))
 		}
 	}
 }
 
+// refreshDone updates completion flags after a slot resolves. At this
+// point e.slot is still the index of the slot just executed, so every
+// live protocol has observed e.slot+1 slots; protocols that declared a
+// FixedSchedule bound beyond that cannot be done yet and are skipped
+// without the interface call — including the whole scan while the
+// bound of every live protocol lies in the future.
 func (e *Engine) refreshDone() {
+	observed := e.slot + 1
+	if observed < e.minDoneAt {
+		return
+	}
+	min := int64(-1)
 	for u, p := range e.protocols {
-		if !e.done[u] && p.Done() {
+		if e.done[u] {
+			continue
+		}
+		if observed >= e.doneAt[u] && p.Done() {
 			e.done[u] = true
 			e.nDone++
+			continue
+		}
+		if min < 0 || e.doneAt[u] < min {
+			min = e.doneAt[u]
 		}
 	}
+	e.minDoneAt = min
 }

@@ -9,7 +9,8 @@ import (
 )
 
 // scriptProto replays a fixed list of actions and records everything it
-// observes.
+// observes. Observed messages are copied per the Protocol contract:
+// the engine's *Message is only valid during the Observe call.
 type scriptProto struct {
 	script []Action
 	pos    int
@@ -23,7 +24,12 @@ func (p *scriptProto) Act(_ int64) Action {
 }
 
 func (p *scriptProto) Observe(_ int64, msg *Message) {
-	p.heard = append(p.heard, msg)
+	if msg == nil {
+		p.heard = append(p.heard, nil)
+		return
+	}
+	cp := *msg
+	p.heard = append(p.heard, &cp)
 }
 
 func (p *scriptProto) Done() bool { return p.pos >= len(p.script) }

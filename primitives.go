@@ -16,9 +16,10 @@ import (
 // receives the same Result envelope.
 //
 // Run executes the primitive once over the scenario with the given
-// seed. It honors ctx: cancellation is checked before every simulated
-// slot, so even slot-budgets in the millions stop promptly. Run is
-// safe for concurrent use with distinct seeds over a shared Scenario.
+// seed. It honors ctx: the engines poll for cancellation every 16
+// sub-microsecond slots, so even slot-budgets in the millions stop
+// within microseconds. Run is safe for concurrent use with distinct
+// seeds over a shared Scenario.
 type Primitive interface {
 	// Name identifies the primitive ("cseek", "ckseek", "cgcast", ...).
 	Name() string
@@ -121,29 +122,34 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 		observers[u], _ = ds[u].(observer)
 	}
 	completedAt := int64(-1)
-	stop := func(slot int64) bool {
-		for u := 0; u < n; u++ {
-			if targets == nil {
-				if ds[u].DiscoveredCount() < s.g.Degree(u) {
+	// Discovery is monotone (a found neighbor stays found), so the
+	// stop predicate keeps a cursor at the first unsatisfied node:
+	// most slots cost one node's check instead of n, and the whole
+	// sweep over nodes is paid once per run, not once per slot.
+	unsat := 0
+	satisfied := func(u int) bool {
+		if targets == nil {
+			return ds[u].DiscoveredCount() >= s.g.Degree(u)
+		}
+		if observers[u] != nil {
+			for id := range targets[u] {
+				if observers[u].Observation(id) == nil {
 					return false
 				}
-				continue
 			}
-			if observers[u] != nil {
-				for id := range targets[u] {
-					if observers[u].Observation(id) == nil {
-						return false
-					}
-				}
-				continue
+			return true
+		}
+		found := 0
+		for _, id := range ds[u].Discovered() {
+			if targets[u][id] {
+				found++
 			}
-			found := 0
-			for _, id := range ds[u].Discovered() {
-				if targets[u][id] {
-					found++
-				}
-			}
-			if found < len(targets[u]) {
+		}
+		return found >= len(targets[u])
+	}
+	stop := func(slot int64) bool {
+		for ; unsat < n; unsat++ {
+			if !satisfied(unsat) {
 				return false
 			}
 		}

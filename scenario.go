@@ -229,6 +229,11 @@ func assembleScenario(g *graph.Graph, a *chanassign.Assignment, tuning *core.Tun
 }
 
 func newScenario(g *graph.Graph, a *chanassign.Assignment, tuning *core.Tuning) (*Scenario, error) {
+	// Finalize here, while scenario assembly is single-threaded:
+	// radio.NewEngine finalizes too (idempotently), but sweep workers
+	// construct engines concurrently over this shared graph, and the
+	// first Finalize must not race.
+	g.Finalize()
 	k, kmax := a.OverlapRange(g)
 	p := core.Params{N: g.N(), C: a.C, K: k, KMax: kmax, Delta: g.MaxDegree()}
 	if tuning != nil {

@@ -103,9 +103,9 @@ type SweepResult struct {
 // BaseSeed with rng.Split keyed by (variant, index), so results — and
 // therefore the aggregates — are byte-identical for any worker count.
 //
-// Cancellation: ctx is threaded into every primitive run (checked
-// before each simulated slot); when ctx is cancelled, Sweep abandons
-// unfinished work and returns ctx.Err().
+// Cancellation: ctx is threaded into every primitive run (the engines
+// poll it every 16 simulated slots); when ctx is cancelled, Sweep
+// abandons unfinished work and returns ctx.Err().
 //
 // Individual run errors do not abort the sweep: they are recorded on
 // the Run and counted in the variant's Failures.
