@@ -23,6 +23,7 @@ import (
 
 	"crn"
 	"crn/internal/chanassign"
+	"crn/internal/dynamics"
 	"crn/internal/graph"
 	"crn/internal/radio"
 	"crn/internal/rng"
@@ -85,7 +86,51 @@ func benchSuite() ([]benchSpec, error) {
 		e.Run(int64(b.N))
 	}
 
+	// The same engine workload under topology dynamics (churn + link
+	// flapping), isolating the per-slot cost of the dynamics path:
+	// feed stepping, mutable-view probes, partition-loss accounting.
+	dynamicsBench := func(b *testing.B) {
+		master := rng.New(1)
+		g, err := graph.GNP(64, 0.15, rng.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := chanassign.SharedPool(64, 8, 2, 30, rng.New(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		protos := make([]radio.Protocol, 64)
+		for i := range protos {
+			protos[i] = benchRandomProto(master.Split(uint64(i)), 8)
+		}
+		churn, err := dynamics.NewChurn(64, 0.002, 0.05, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flap, err := dynamics.NewEdgeFlap(g.Edges(), 0.005, 0.1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := radio.NewEngine(&radio.Network{
+			Graph: g, Assign: a, Topology: dynamics.Compose(churn, flap),
+		}, protos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Run(int64(b.N))
+	}
+
 	gnp, err := crn.New(crn.WithTopology(crn.GNP), crn.WithNodes(16), crn.WithChannels(5, 2, 0), crn.WithSeed(7))
+	if err != nil {
+		return nil, err
+	}
+	mobile, err := crn.New(
+		crn.WithTopology(crn.UnitDisk), crn.WithNodes(16), crn.WithChannels(5, 2, 0),
+		crn.WithDensity(0.45), crn.WithSeed(7),
+		crn.WithChurn(0.002, 0.05, 4), crn.WithMobility(0.004, 4, 5),
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -116,12 +161,28 @@ func benchSuite() ([]benchSpec, error) {
 			fn:          engineBench,
 		},
 		{
+			name:        "engine/slot-dynamics",
+			nodeSlotsOp: 64,
+			fn:          dynamicsBench,
+		},
+		{
 			name:        "primitive/cseek",
 			nodeSlotsOp: float64(gnp.N()) * float64(cseekSlots),
 			fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := cseek.Run(ctx, gnp, uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "primitive/cseek-dynamic",
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := cseek.Run(ctx, mobile, uint64(i)); err != nil {
 						b.Fatal(err)
 					}
 				}

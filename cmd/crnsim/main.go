@@ -6,9 +6,11 @@
 // instead.
 //
 // Spectrum dynamics come from -preset (a named scenario preset:
-// quiet, urban-busy, bursty, adversarial-t) and/or -spectrum (an
-// explicit "+"-stacked model spec); both stack onto the scenario, so
-// primary traffic plus an adversary is one flag away.
+// quiet, urban-busy, bursty, adversarial-t, mobile-sparse,
+// churn-heavy) and/or -spectrum (an explicit "+"-stacked model spec);
+// topology dynamics come from -dynamics (churn / flap / waypoint,
+// also "+"-stacked). Everything stacks onto the scenario, so primary
+// traffic plus an adversary plus node churn is two flags away.
 //
 // Examples:
 //
@@ -18,6 +20,9 @@
 //	crnsim -topology chain -n 16 -c 4 -k 2 -algo cgcast -seeds 16 -workers 4
 //	crnsim -n 16 -c 5 -k 2 -preset urban-busy -seeds 8
 //	crnsim -n 16 -c 5 -k 2 -spectrum "markov:0.05,0.15+adversary:2"
+//	crnsim -n 16 -c 5 -k 2 -dynamics "churn:0.01,0.08"
+//	crnsim -topology unitdisk -n 24 -c 5 -k 2 -dynamics "waypoint:0.005,4"
+//	crnsim -n 16 -c 5 -k 2 -preset mobile-sparse -seeds 8
 package main
 
 import (
@@ -46,7 +51,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("crnsim", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		topology = fs.String("topology", "gnp", "topology: gnp, star, path, grid, chain, tree, unitdisk")
+		topology = fs.String("topology", "gnp", "topology: gnp, star, path, grid, chain, tree, unitdisk, ring, complete, regular")
 		n        = fs.Int("n", 24, "number of nodes")
 		c        = fs.Int("c", 8, "channels per node")
 		k        = fs.Int("k", 2, "guaranteed shared channels per neighbor pair")
@@ -56,8 +61,9 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		seeds    = fs.Int("seeds", 1, "number of runs; > 1 sweeps and prints the aggregate")
 		workers  = fs.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
-		preset   = fs.String("preset", "", "spectrum preset: "+strings.Join(crn.PresetNames(), ", "))
+		preset   = fs.String("preset", "", "scenario preset: "+strings.Join(crn.PresetNames(), ", "))
 		spec     = fs.String("spectrum", "", `spectrum models, "+"-stacked: periodic:<period>,<on> | markov:<pBusy>,<pFree> | poisson:<rate>,<hold> | adversary:<t>`)
+		dyn      = fs.String("dynamics", "", `topology dynamics, "+"-stacked: churn:<pDown>,<pUp> | flap:<pDrop>,<pRestore> | waypoint:<speed>,<every> (waypoint needs -topology unitdisk)`)
 		asJSON   = fs.Bool("json", false, "print JSON")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +88,11 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	opts = append(opts, specOpts...)
+	dynOpts, err := parseDynamics(*dyn, *seed)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, dynOpts...)
 
 	scn, err := crn.New(opts...)
 	if err != nil {
@@ -160,6 +171,11 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "spectrum:  listens=%d deliveries=%d collisions=%d jammedListens=%d\n",
 				v.Spectrum.Listens, v.Spectrum.Deliveries, v.Spectrum.Collisions, v.Spectrum.JammedListens)
 		}
+		if v.Topology != nil {
+			fmt.Fprintf(w, "topology:  edges=+%d/-%d churn=%d/%d downSlots=%d partitionLosses=%d rediscovered=%d\n",
+				v.Topology.EdgeAdds, v.Topology.EdgeRemoves, v.Topology.NodeJoins, v.Topology.NodeLeaves,
+				v.Topology.DownNodeSlots, v.Topology.PartitionLosses, v.Topology.RediscoveredPairs)
+		}
 	case crn.Aggregate:
 		fmt.Fprintf(w, "runs:      %d (%d completed)\n", v.Runs, v.Completed)
 		names := make([]string, 0, len(v.Metrics))
@@ -172,6 +188,58 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseDynamics turns a "+"-stacked -dynamics spec into scenario
+// options. Models derive their trajectory seed from the run seed, so
+// -seed reproduces the whole simulation including the topology churn.
+func parseDynamics(spec string, seed uint64) ([]crn.ScenarioOption, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var opts []crn.ScenarioOption
+	for i, part := range strings.Split(spec, "+") {
+		model, argstr, _ := strings.Cut(strings.TrimSpace(part), ":")
+		// Decorrelate stacked models, as parseSpectrum does — and XOR a
+		// domain constant so dynamics model i never shares a seed with
+		// spectrum model i (same-seeded models draw byte-identical
+		// per-channel/per-node rng streams, correlating primary-user
+		// occupancy with churn).
+		modelSeed := (seed + uint64(i)*0x9E3779B97F4A7C15) ^ 0xD15EA5ED
+		var args []float64
+		if argstr != "" {
+			for _, a := range strings.Split(argstr, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+				if err != nil {
+					return nil, fmt.Errorf("dynamics spec %q: bad number %q", part, a)
+				}
+				args = append(args, v)
+			}
+		}
+		switch model {
+		case "churn":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("dynamics spec %q: want churn:<pDown>,<pUp>", part)
+			}
+			opts = append(opts, crn.WithChurn(args[0], args[1], modelSeed))
+		case "flap":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("dynamics spec %q: want flap:<pDrop>,<pRestore>", part)
+			}
+			opts = append(opts, crn.WithEdgeFlap(args[0], args[1], modelSeed))
+		case "waypoint":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("dynamics spec %q: want waypoint:<speed>,<every>", part)
+			}
+			if args[1] != math.Trunc(args[1]) || args[1] < 1 {
+				return nil, fmt.Errorf("dynamics spec %q: epoch stride must be a positive integer", part)
+			}
+			opts = append(opts, crn.WithMobility(args[0], int64(args[1]), modelSeed))
+		default:
+			return nil, fmt.Errorf("dynamics spec %q: unknown model (have churn, flap, waypoint)", part)
+		}
+	}
+	return opts, nil
 }
 
 // parseSpectrum turns a "+"-stacked -spectrum spec into scenario

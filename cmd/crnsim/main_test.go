@@ -81,6 +81,61 @@ func TestParseSpectrum(t *testing.T) {
 	}
 }
 
+func TestParseDynamics(t *testing.T) {
+	good := []string{
+		"",
+		"none",
+		"churn:0.01,0.08",
+		"flap:0.01,0.1",
+		"waypoint:0.005,4",
+		"churn:0.01,0.08+flap:0.01,0.1",
+	}
+	for _, spec := range good {
+		if _, err := parseDynamics(spec, 1); err != nil {
+			t.Errorf("parseDynamics(%q): %v", spec, err)
+		}
+	}
+	bad := []string{
+		"teleport:1",
+		"churn:0.01",
+		"churn:a,b",
+		"flap:0.01,0.1,5",
+		"waypoint:0.005",
+		"waypoint:0.005,4.5",
+		"waypoint:0.005,0",
+	}
+	for _, spec := range bad {
+		if _, err := parseDynamics(spec, 1); err == nil {
+			t.Errorf("parseDynamics(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRunDynamicsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	// Waypoint mobility without a geometric topology must surface the
+	// facade's validation error.
+	if err := run([]string{"-topology", "gnp", "-n", "10", "-c", "4", "-k", "2",
+		"-dynamics", "waypoint:0.005,4"}, io.Discard); err == nil {
+		t.Error("waypoint on gnp accepted")
+	}
+	var sb strings.Builder
+	args := []string{"-topology", "gnp", "-n", "10", "-c", "4", "-k", "2",
+		"-dynamics", "churn:0.01,0.08+flap:0.01,0.1"}
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "topology:") {
+		t.Errorf("output missing topology accounting:\n%s", out)
+	}
+	if strings.Contains(out, "downSlots=0 ") {
+		t.Errorf("churn left no down slots:\n%s", out)
+	}
+}
+
 func TestRunPresetAndSpectrumFlags(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")

@@ -1,0 +1,235 @@
+package crn
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// Facade-level lockdown of the topology-dynamics subsystem: options
+// stack and validate, results carry the Topology detail, and sweeps
+// over the dynamics presets stay byte-identical at any worker count
+// (the per-run feed instantiation in Scenario.runNetwork is what
+// makes that hold).
+
+func dynamicsBase(extra ...ScenarioOption) []ScenarioOption {
+	return append([]ScenarioOption{
+		WithTopology(GNP), WithNodes(12), WithChannels(4, 2, 0), WithSeed(6),
+	}, extra...)
+}
+
+func TestStaticRunsCarryNoTopologyDetail(t *testing.T) {
+	s, err := New(dynamicsBase()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discovery(CSeek).Run(context.Background(), s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology != nil {
+		t.Fatalf("static run carries topology detail: %+v", *res.Topology)
+	}
+	if _, ok := res.Metrics()["edgeChanges"]; ok {
+		t.Error("static run emits topology metrics")
+	}
+}
+
+func TestChurnShowsInResults(t *testing.T) {
+	s, err := New(dynamicsBase(WithChurn(0.01, 0.08, 5))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discovery(CSeek).Run(context.Background(), s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Topology
+	if top == nil {
+		t.Fatal("churn run carries no topology detail")
+	}
+	if top.NodeLeaves == 0 || top.DownNodeSlots == 0 {
+		t.Errorf("churn applied nothing: %+v", *top)
+	}
+	if top.EdgeAdds != 0 || top.EdgeRemoves != 0 {
+		t.Errorf("pure churn changed edges: %+v", *top)
+	}
+	m := res.Metrics()
+	if m["nodeChurnEvents"] == 0 || m["downNodeSlots"] == 0 {
+		t.Errorf("churn metrics missing: %v", m)
+	}
+}
+
+func TestEdgeFlapShowsInResults(t *testing.T) {
+	s, err := New(dynamicsBase(WithEdgeFlap(0.01, 0.1, 5))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discovery(CSeek).Run(context.Background(), s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Topology
+	if top == nil {
+		t.Fatal("flap run carries no topology detail")
+	}
+	if top.EdgeRemoves == 0 {
+		t.Errorf("flap removed no edges: %+v", *top)
+	}
+	if top.PartitionLosses == 0 {
+		t.Errorf("flap caused no partition losses: %+v", *top)
+	}
+	if top.NodeLeaves != 0 || top.DownNodeSlots != 0 {
+		t.Errorf("pure flap churned nodes: %+v", *top)
+	}
+}
+
+func TestMobilityRequiresGeometry(t *testing.T) {
+	if _, err := New(dynamicsBase(WithMobility(0.01, 4, 5))...); err == nil {
+		t.Fatal("WithMobility on a GNP topology should error")
+	}
+	s, err := New(
+		WithTopology(UnitDisk), WithNodes(14), WithChannels(4, 2, 0),
+		WithDensity(0.4), WithSeed(6), WithMobility(0.005, 4, 5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discovery(CSeek).Run(context.Background(), s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology == nil || res.Topology.EdgeAdds+res.Topology.EdgeRemoves == 0 {
+		t.Fatalf("mobility changed no edges: %+v", res.Topology)
+	}
+}
+
+// TestDynamicsOptionsStack: churn plus flap yields both node and edge
+// dynamics in one run.
+func TestDynamicsOptionsStack(t *testing.T) {
+	s, err := New(dynamicsBase(WithChurn(0.01, 0.08, 5), WithEdgeFlap(0.01, 0.1, 6))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discovery(CSeek).Run(context.Background(), s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Topology
+	if top == nil || top.NodeLeaves == 0 || top.EdgeRemoves == 0 {
+		t.Fatalf("stacked dynamics incomplete: %+v", top)
+	}
+}
+
+// TestRediscoveryAccounting: under churn, some neighbors are found
+// only after they rejoined, and the latency accounting is consistent.
+func TestRediscoveryAccounting(t *testing.T) {
+	s, err := New(dynamicsBase(WithChurn(0.02, 0.05, 9))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for seed := uint64(1); seed <= 8 && !found; seed++ {
+		res, err := Discovery(CSeek).Run(context.Background(), s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := res.Topology
+		if top == nil {
+			t.Fatal("churn run carries no topology detail")
+		}
+		if top.RediscoveredPairs < 0 || top.RediscoveryLatencyTotal < 0 {
+			t.Fatalf("negative rediscovery accounting: %+v", *top)
+		}
+		if top.RediscoveredPairs == 0 && top.RediscoveryLatencyTotal != 0 {
+			t.Fatalf("latency without pairs: %+v", *top)
+		}
+		if top.RediscoveredPairs > 0 {
+			found = true
+			if top.MeanRediscoveryLatency() <= 0 {
+				t.Errorf("mean rediscovery latency %v, want > 0", top.MeanRediscoveryLatency())
+			}
+			if m := res.Metrics(); m["rediscoveryLatencyMean"] != top.MeanRediscoveryLatency() {
+				t.Errorf("metrics latency %v != detail %v", m["rediscoveryLatencyMean"], top.MeanRediscoveryLatency())
+			}
+		}
+	}
+	if !found {
+		t.Error("no seed produced a rediscovered pair — churn too weak for the test to bite")
+	}
+}
+
+// TestSweepDynamicsPresetsByteIdentical is the PR's acceptance check:
+// sweeps over the mobile-sparse and churn-heavy presets produce
+// byte-identical results (full runs and aggregates) at 1 and 8
+// workers. Topology feeds are stateful, so this only holds because
+// every run gets its own feed instance (Scenario.runNetwork).
+func TestSweepDynamicsPresetsByteIdentical(t *testing.T) {
+	base := []ScenarioOption{WithTopology(GNP), WithNodes(12), WithChannels(4, 2, 0), WithSeed(5)}
+	for _, name := range []string{PresetMobileSparse, PresetChurnHeavy} {
+		s, err := New(presetOptions(t, name, base...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep := func(workers int) []byte {
+			res, err := Sweep(context.Background(), SweepSpec{
+				Primitive:   Discovery(CSeek),
+				Variants:    []Variant{{Name: name, Scenario: s}},
+				Seeds:       6,
+				BaseSeed:    77,
+				Workers:     workers,
+				KeepResults: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Aggregates[0].Failures > 0 {
+				t.Fatalf("preset %q: %d sweep runs failed", name, res.Aggregates[0].Failures)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		w1, w8 := sweep(1), sweep(8)
+		if !bytes.Equal(w1, w8) {
+			t.Errorf("preset %q: sweep results differ between 1 and 8 workers", name)
+		}
+		if !bytes.Contains(w1, []byte("edgeChanges")) && !bytes.Contains(w1, []byte("nodeChurnEvents")) {
+			t.Errorf("preset %q: sweep metrics carry no topology accounting", name)
+		}
+	}
+}
+
+// TestDynamicsPresetsDegradeDiscovery: the dynamics presets must
+// actually bite — discovery under churn-heavy finds no more pairs
+// than the same scenario without churn, and strictly loses something
+// across a small sweep.
+func TestDynamicsPresetsDegradeDiscovery(t *testing.T) {
+	pairs := func(opts ...ScenarioOption) float64 {
+		s, err := New(append(dynamicsBase(), opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Sweep(context.Background(), SweepSpec{
+			Primitive: Discovery(CSeek),
+			Variants:  []Variant{{Name: "v", Scenario: s}},
+			Seeds:     4,
+			BaseSeed:  3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Aggregates[0].Metrics["pairsDiscovered"].Mean
+	}
+	static := pairs()
+	churned := pairs(WithChurn(0.02, 0.02, 7))
+	if churned > static {
+		t.Errorf("discovery under heavy churn found more pairs (%v) than static (%v)", churned, static)
+	}
+	if churned == static {
+		t.Logf("churn did not reduce discovered pairs at this size (static=%v) — acceptable but surprising", static)
+	}
+}

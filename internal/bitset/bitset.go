@@ -289,6 +289,40 @@ func (m *Matrix) Get(r, c int) bool {
 	return m.words[r*m.stride+c/wordBits]&(1<<(uint(c)%wordBits)) != 0
 }
 
+// Unset clears bit (r, c). Out-of-range coordinates are ignored.
+func (m *Matrix) Unset(r, c int) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return
+	}
+	m.words[r*m.stride+c/wordBits] &^= 1 << (uint(c) % wordBits)
+}
+
+// Clone returns a deep copy of m. Dynamic topology views clone the
+// static adjacency matrix once per run and mutate the copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		words:  make([]uint64, len(m.words)),
+		rows:   m.rows,
+		cols:   m.cols,
+		stride: m.stride,
+	}
+	copy(c.words, m.words)
+	return c
+}
+
+// EqualMatrix reports whether m and o have the same shape and bits.
+func (m *Matrix) EqualMatrix(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, w := range m.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Bytes returns the backing storage size in bytes, for capacity
 // gating by callers deciding whether a dense matrix is affordable.
 func (m *Matrix) Bytes() int { return len(m.words) * 8 }

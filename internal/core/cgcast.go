@@ -752,7 +752,11 @@ func (d *cgcastDriver) runEngine(protos []radio.Protocol) error {
 	if err != nil {
 		return err
 	}
-	if !st.Completed {
+	// A fixed-length schedule that fails to finish is an engine or
+	// schedule bug in the static model — but under a dynamic topology
+	// a down node legitimately freezes mid-schedule, so partial
+	// exchanges are an expected degradation outcome there.
+	if !st.Completed && d.nw.Topology == nil {
 		return fmt.Errorf("core: exchange stage did not complete in %d slots", d.exchangeSlots)
 	}
 	d.setupRadio.Accumulate(st)
@@ -891,7 +895,10 @@ func (s *BroadcastSession) DisseminateCtx(ctx context.Context, dD int, source ra
 	if err != nil {
 		return nil, err
 	}
-	if !st.Completed {
+	// See runEngine: incomplete fixed schedules are a bug in the
+	// static model, a measured outcome under a dynamic topology (down
+	// nodes freeze mid-schedule).
+	if !st.Completed && s.nw.Topology == nil {
 		return nil, fmt.Errorf("core: dissemination did not complete in %d slots", scheduleSlots)
 	}
 

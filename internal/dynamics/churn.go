@@ -1,0 +1,103 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// Churn models node churn as independent per-node on/off processes:
+// an up node goes down with probability pDown per slot (Poisson-like
+// failure arrivals in discrete time) and a down node rejoins with
+// probability pUp per slot, so downtimes are geometric with mean
+// 1/pUp slots. All nodes start up. Down nodes neither transmit nor
+// observe — their protocols freeze on their local clocks until
+// rejoin, exactly a device powering off and back on mid-algorithm.
+//
+// Determinism: node u's process runs on rng.New(seed).Split(u), so
+// the whole churn trajectory is a pure function of (seed, n) —
+// independent of engine internals and identical at any worker count.
+type Churn struct {
+	n           int
+	pDown, pUp  float64
+	seed        uint64
+	streams     []*rng.Source
+	down        []bool
+	joins       [][]int64
+	lastMut     radio.TopologyMutator
+	transitions int64
+}
+
+// NewChurn returns a churn model over n nodes. Probabilities must be
+// in [0, 1].
+func NewChurn(n int, pDown, pUp float64, seed uint64) (*Churn, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dynamics: churn needs n >= 1, got %d", n)
+	}
+	if pDown < 0 || pDown > 1 || pUp < 0 || pUp > 1 {
+		return nil, fmt.Errorf("dynamics: churn probabilities must be in [0,1], got %v and %v", pDown, pUp)
+	}
+	c := &Churn{n: n, pDown: pDown, pUp: pUp, seed: seed}
+	c.reset()
+	return c, nil
+}
+
+func (c *Churn) reset() {
+	master := rng.New(c.seed)
+	c.streams = make([]*rng.Source, c.n)
+	for u := 0; u < c.n; u++ {
+		c.streams[u] = master.Split(uint64(u))
+	}
+	c.down = make([]bool, c.n)
+	c.joins = make([][]int64, c.n)
+	c.lastMut = nil
+	c.transitions = 0
+}
+
+// NewRun implements RunScoped.
+func (c *Churn) NewRun() radio.TopologyFeed {
+	fresh, err := NewChurn(c.n, c.pDown, c.pUp, c.seed)
+	if err != nil {
+		panic(err) // validated at construction
+	}
+	return fresh
+}
+
+// Step implements radio.TopologyFeed: advance every node's chain one
+// slot and reconcile the engine's up set.
+func (c *Churn) Step(slot int64, mut radio.TopologyMutator) {
+	resync := mut != c.lastMut
+	c.lastMut = mut
+	for u := 0; u < c.n; u++ {
+		changed := false
+		if c.down[u] {
+			if c.streams[u].Bernoulli(c.pUp) {
+				c.down[u] = false
+				c.joins[u] = append(c.joins[u], slot)
+				changed = true
+			}
+		} else if c.streams[u].Bernoulli(c.pDown) {
+			c.down[u] = true
+			changed = true
+		}
+		if changed {
+			c.transitions++
+		}
+		if changed || resync {
+			mut.SetNodeUp(u, !c.down[u])
+		}
+	}
+}
+
+// JoinSlots implements JoinLog.
+func (c *Churn) JoinSlots(u int) []int64 {
+	if u < 0 || u >= c.n {
+		return nil
+	}
+	return c.joins[u]
+}
+
+// Transitions returns the number of up/down flips applied so far (a
+// test and debugging hook).
+func (c *Churn) Transitions() int64 { return c.transitions }

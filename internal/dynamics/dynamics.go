@@ -1,0 +1,110 @@
+// Package dynamics models time-varying network topology — the
+// secondary users themselves moving, failing and rejoining, and links
+// flapping — complementing internal/spectrum, which makes the
+// *spectrum* dynamic while the graph stays fixed. The paper's model
+// (Section 3) freezes the communication graph; every applied
+// treatment of cognitive radio stresses that real secondary users
+// move and appear/disappear, so these models measure how the paper's
+// primitives degrade when neighborhoods shift under them.
+//
+// All models implement radio.TopologyFeed: the engine steps a feed
+// once per slot from its sequential section, and the feed applies its
+// mutations through the engine's TopologyMutator. Models are
+// deterministic — every random decision flows from a seed through
+// rng.Split streams (per node for churn, per edge for flapping) — and
+// run-scoped: they carry per-run state, so callers sharing one
+// scenario across concurrent runs must install a fresh instance per
+// run via NewRun (mirroring spectrum.RunScoped).
+//
+// Feeds reconcile *desired* state rather than issuing blind edits:
+// each model tracks what the topology should look like and converges
+// the mutator to it, re-synchronizing in full whenever it meets a new
+// mutator (a multi-stage pipeline such as CGCAST runs several engines
+// over one feed; each new engine starts from the base topology).
+package dynamics
+
+import (
+	"sort"
+
+	"crn/internal/radio"
+)
+
+// RunScoped is implemented by every model in this package: topology
+// feeds are stateful, so each simulation run must get its own
+// instance. NewRun returns a fresh feed with the same configuration
+// and cleared per-run state.
+type RunScoped interface {
+	NewRun() radio.TopologyFeed
+}
+
+// JoinLog exposes the engine slots at which nodes (re)joined after
+// being down — the raw material for re-discovery latency accounting
+// (a neighbor found after its join slot was re-discovered, and the
+// lag is the latency).
+type JoinLog interface {
+	// JoinSlots returns the slots at which node u came back up, in
+	// increasing order. The caller must not modify the slice.
+	JoinSlots(u int) []int64
+}
+
+// composite applies several feeds in order each slot. Later feeds win
+// conflicting edits within a slot; churn composes freely with the
+// edge models, but EdgeFlap and RandomWaypoint both own the edge set,
+// so composing those two is only meaningful if that precedence is
+// intended.
+type composite struct {
+	feeds []radio.TopologyFeed
+}
+
+// Compose returns a feed applying each member in order every slot.
+// Nil members are dropped; a single member is returned unwrapped. The
+// composite implements RunScoped (members implementing it are
+// re-instantiated per run, stateless members are shared) and JoinLog
+// (the union of member logs).
+func Compose(feeds ...radio.TopologyFeed) radio.TopologyFeed {
+	kept := make([]radio.TopologyFeed, 0, len(feeds))
+	for _, f := range feeds {
+		if f != nil {
+			kept = append(kept, f)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &composite{feeds: kept}
+}
+
+// Step implements radio.TopologyFeed.
+func (c *composite) Step(slot int64, mut radio.TopologyMutator) {
+	for _, f := range c.feeds {
+		f.Step(slot, mut)
+	}
+}
+
+// NewRun implements RunScoped.
+func (c *composite) NewRun() radio.TopologyFeed {
+	fresh := make([]radio.TopologyFeed, len(c.feeds))
+	for i, f := range c.feeds {
+		if rs, ok := f.(RunScoped); ok {
+			fresh[i] = rs.NewRun()
+		} else {
+			fresh[i] = f
+		}
+	}
+	return &composite{feeds: fresh}
+}
+
+// JoinSlots implements JoinLog: the sorted union of member logs.
+func (c *composite) JoinSlots(u int) []int64 {
+	var out []int64
+	for _, f := range c.feeds {
+		if jl, ok := f.(JoinLog); ok {
+			out = append(out, jl.JoinSlots(u)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,437 @@
+package dynamics
+
+import (
+	"testing"
+
+	"crn/internal/chanassign"
+	"crn/internal/graph"
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// fakeMut is a reference TopologyMutator for model tests: a plain
+// edge-set + up-set that records applied changes.
+type fakeMut struct {
+	n       int
+	up      []bool
+	edges   map[[2]int]bool
+	adds    int
+	removes int
+	joins   int
+	leaves  int
+}
+
+func newFakeMut(g *graph.Graph) *fakeMut {
+	m := &fakeMut{n: g.N(), up: make([]bool, g.N()), edges: map[[2]int]bool{}}
+	for i := range m.up {
+		m.up[i] = true
+	}
+	for _, e := range g.Edges() {
+		m.edges[[2]int{int(e.U), int(e.V)}] = true
+	}
+	return m
+}
+
+func key(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (m *fakeMut) N() int            { return m.n }
+func (m *fakeMut) NodeUp(u int) bool { return m.up[u] }
+func (m *fakeMut) SetNodeUp(u int, up bool) bool {
+	if m.up[u] == up {
+		return false
+	}
+	m.up[u] = up
+	if up {
+		m.joins++
+	} else {
+		m.leaves++
+	}
+	return true
+}
+func (m *fakeMut) HasEdge(u, v int) bool { return m.edges[key(u, v)] }
+func (m *fakeMut) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= m.n || v >= m.n || m.edges[key(u, v)] {
+		return false
+	}
+	m.edges[key(u, v)] = true
+	m.adds++
+	return true
+}
+func (m *fakeMut) RemoveEdge(u, v int) bool {
+	if !m.edges[key(u, v)] {
+		return false
+	}
+	delete(m.edges, key(u, v))
+	m.removes++
+	return true
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.GNP(14, 0.3, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestChurnDeterministicAndScoped: two same-seed runs produce the
+// identical up/down trajectory; NewRun resets state.
+func TestChurnDeterministicAndScoped(t *testing.T) {
+	g := testGraph(t)
+	trajectory := func(f radio.TopologyFeed) []bool {
+		mut := newFakeMut(g)
+		var tr []bool
+		for slot := int64(0); slot < 400; slot++ {
+			f.Step(slot, mut)
+			for u := 0; u < g.N(); u++ {
+				tr = append(tr, mut.NodeUp(u))
+			}
+		}
+		return tr
+	}
+	proto, err := NewChurn(g.N(), 0.02, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := trajectory(proto.NewRun()), trajectory(proto.NewRun())
+	if len(a) != len(b) {
+		t.Fatal("trajectory lengths differ")
+	}
+	sawDown := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed churn trajectories diverge at %d", i)
+		}
+		if !a[i] {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("churn never took a node down — degenerate test")
+	}
+}
+
+// TestChurnJoinLog: every rejoin is logged, and the log matches the
+// observed up-transition count.
+func TestChurnJoinLog(t *testing.T) {
+	g := testGraph(t)
+	c, err := NewChurn(g.N(), 0.05, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := newFakeMut(g)
+	for slot := int64(0); slot < 600; slot++ {
+		c.Step(slot, mut)
+	}
+	logged := 0
+	for u := 0; u < g.N(); u++ {
+		slots := c.JoinSlots(u)
+		logged += len(slots)
+		for i := 1; i < len(slots); i++ {
+			if slots[i] <= slots[i-1] {
+				t.Fatalf("node %d join slots not increasing: %v", u, slots)
+			}
+		}
+	}
+	if logged != mut.joins {
+		t.Errorf("join log holds %d entries, mutator saw %d joins", logged, mut.joins)
+	}
+	if logged == 0 {
+		t.Fatal("no rejoins in 600 slots — degenerate test")
+	}
+}
+
+// TestEdgeFlapStaysWithinBase: flapping only ever toggles base edges,
+// and a fresh mutator (engine restart) is resynced to the model's
+// current state.
+func TestEdgeFlapStaysWithinBase(t *testing.T) {
+	g := testGraph(t)
+	base := map[[2]int]bool{}
+	for _, e := range g.Edges() {
+		base[[2]int{int(e.U), int(e.V)}] = true
+	}
+	f, err := NewEdgeFlap(g.Edges(), 0.05, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := newFakeMut(g)
+	for slot := int64(0); slot < 300; slot++ {
+		f.Step(slot, mut)
+		for e := range mut.edges {
+			if !base[e] {
+				t.Fatalf("flap created non-base edge %v", e)
+			}
+		}
+	}
+	if f.Transitions() == 0 {
+		t.Fatal("no flaps in 300 slots — degenerate test")
+	}
+	// A fresh engine's mutator starts from the full base edge set; the
+	// model must reconcile it to its current state in one step.
+	fresh := newFakeMut(g)
+	f.Step(300, fresh)
+	for e := range base {
+		if mut.edges[e] != fresh.edges[e] {
+			t.Fatalf("resync mismatch on edge %v", e)
+		}
+	}
+}
+
+// TestRandomWaypointTracksGeometry: after every epoch the mutator's
+// edge set equals the geometric rule over the moved positions, and
+// positions stay in the unit square.
+func TestRandomWaypointTracksGeometry(t *testing.T) {
+	g, geom, err := graph.UnitDiskGeometry(20, 0.35, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const every = 4
+	proto, err := NewRandomWaypoint(geom, 0.01, every, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := proto.NewRun().(*RandomWaypoint)
+	mut := newFakeMut(g)
+	for slot := int64(0); slot < 400; slot++ {
+		w.Step(slot, mut)
+		if slot%every != 0 {
+			continue
+		}
+		x, y := w.Positions()
+		for u := 0; u < g.N(); u++ {
+			if x[u] < 0 || x[u] > 1 || y[u] < 0 || y[u] > 1 {
+				t.Fatalf("node %d left the unit square: (%v, %v)", u, x[u], y[u])
+			}
+			for v := u + 1; v < g.N(); v++ {
+				dx, dy := x[u]-x[v], y[u]-y[v]
+				want := dx*dx+dy*dy <= 0.35*0.35
+				if mut.HasEdge(u, v) != want {
+					t.Fatalf("slot %d: edge (%d,%d)=%v, geometry says %v", slot, u, v, mut.HasEdge(u, v), want)
+				}
+			}
+		}
+	}
+	if mut.adds == 0 || mut.removes == 0 {
+		t.Fatalf("mobility changed no edges (adds=%d removes=%d) — degenerate test", mut.adds, mut.removes)
+	}
+	// The scenario's realized geometry must stay fixed.
+	if geom.X[0] != w.base.X[0] || geom.Y[0] != w.base.Y[0] {
+		t.Fatal("mobility mutated the base geometry")
+	}
+}
+
+// TestRandomWaypointFirstEpochDoesNotMove: the realized topology must
+// run as generated — the first Step reconciles (a no-op against the
+// base geometry) and the first actual move lands `every` slots in.
+func TestRandomWaypointFirstEpochDoesNotMove(t *testing.T) {
+	g, geom, err := graph.UnitDiskGeometry(15, 0.4, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewRandomWaypoint(geom, 0.01, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := proto.NewRun().(*RandomWaypoint)
+	mut := newFakeMut(g)
+	w.Step(0, mut)
+	x, y := w.Positions()
+	for u := range x {
+		if x[u] != geom.X[u] || y[u] != geom.Y[u] {
+			t.Fatalf("node %d moved on the first epoch: (%v,%v) vs (%v,%v)", u, x[u], y[u], geom.X[u], geom.Y[u])
+		}
+	}
+	if mut.adds != 0 || mut.removes != 0 {
+		t.Fatalf("first-epoch reconcile changed edges (+%d/-%d) despite unmoved positions", mut.adds, mut.removes)
+	}
+	for slot := int64(1); slot < 4; slot++ {
+		w.Step(slot, mut)
+	}
+	w.Step(4, mut) // second epoch: now the nodes move
+	x, y = w.Positions()
+	moved := false
+	for u := range x {
+		if x[u] != geom.X[u] || y[u] != geom.Y[u] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("no node moved by the second epoch")
+	}
+}
+
+// TestRandomWaypointDeterministic: same seed, same motion trail.
+func TestRandomWaypointDeterministic(t *testing.T) {
+	g, geom, err := graph.UnitDiskGeometry(12, 0.4, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail := func() []float64 {
+		proto, err := NewRandomWaypoint(geom, 0.02, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := proto.NewRun().(*RandomWaypoint)
+		mut := newFakeMut(g)
+		var tr []float64
+		for slot := int64(0); slot < 100; slot++ {
+			w.Step(slot, mut)
+			x, y := w.Positions()
+			tr = append(tr, x...)
+			tr = append(tr, y...)
+		}
+		return tr
+	}
+	a, b := trail(), trail()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed trails diverge at %d", i)
+		}
+	}
+}
+
+// TestComposeSemantics: nil members drop, singletons unwrap, members
+// apply in order, run scoping re-instantiates stateful members, and
+// join logs merge.
+func TestComposeSemantics(t *testing.T) {
+	g := testGraph(t)
+	if Compose() != nil {
+		t.Error("empty Compose should be nil")
+	}
+	c, err := NewChurn(g.N(), 0.05, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Compose(nil, c) != radio.TopologyFeed(c) {
+		t.Error("singleton Compose should unwrap")
+	}
+	f, err := NewEdgeFlap(g.Edges(), 0.05, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := Compose(c, f)
+	rs, ok := both.(RunScoped)
+	if !ok {
+		t.Fatal("composite is not RunScoped")
+	}
+	run1 := rs.NewRun()
+	run2 := rs.NewRun()
+	sig := func(feed radio.TopologyFeed) (int, int) {
+		mut := newFakeMut(g)
+		for slot := int64(0); slot < 300; slot++ {
+			feed.Step(slot, mut)
+		}
+		return mut.leaves, mut.removes
+	}
+	l1, r1 := sig(run1)
+	l2, r2 := sig(run2)
+	if l1 != l2 || r1 != r2 {
+		t.Errorf("run-scoped composites diverged: (%d,%d) vs (%d,%d)", l1, r1, l2, r2)
+	}
+	if l1 == 0 || r1 == 0 {
+		t.Fatalf("composite applied no dynamics (leaves=%d removes=%d)", l1, r1)
+	}
+	jl, ok := run1.(JoinLog)
+	if !ok {
+		t.Fatal("composite is not a JoinLog")
+	}
+	total := 0
+	for u := 0; u < g.N(); u++ {
+		total += len(jl.JoinSlots(u))
+	}
+	if total == 0 {
+		t.Error("composite join log empty despite churn member")
+	}
+}
+
+// TestModelsOnRealEngine drives every model through a real engine
+// pair (Run and RunParallel) and requires identical stats — the
+// engine-level equivalence guarantee holds for the shipped models,
+// not just scripted feeds.
+func TestModelsOnRealEngine(t *testing.T) {
+	g, geom, err := graph.UnitDiskGeometry(18, 0.4, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := chanassign.Identical(g.N(), 3, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := NewChurn(g.N(), 0.01, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flap, err := NewEdgeFlap(g.Edges(), 0.02, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	way, err := NewRandomWaypoint(geom, 0.005, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []struct {
+		name string
+		feed radio.TopologyFeed
+	}{
+		{"churn", churn},
+		{"flap", flap},
+		{"waypoint", way},
+		{"compose", Compose(churn, flap)},
+	}
+	for _, fc := range feeds {
+		t.Run(fc.name, func(t *testing.T) {
+			run := func(workers int) radio.Stats {
+				feed := fc.feed
+				if rs, ok := feed.(RunScoped); ok {
+					feed = rs.NewRun()
+				}
+				master := rng.New(31)
+				protos := make([]radio.Protocol, g.N())
+				for u := range protos {
+					protos[u] = &chatterProto{r: master.Split(uint64(u)), c: 3}
+				}
+				e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a, Topology: feed}, protos)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 0 {
+					return e.Run(500)
+				}
+				return e.RunParallel(500, workers)
+			}
+			want := run(0)
+			if want.EdgeAdds+want.EdgeRemoves+want.DownSlots == 0 {
+				t.Fatalf("model applied no dynamics: %+v", want)
+			}
+			for _, workers := range []int{2, 8} {
+				if got := run(workers); got != want {
+					t.Errorf("workers=%d stats = %+v, want %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+type chatterProto struct {
+	r *rng.Source
+	c int
+}
+
+func (p *chatterProto) Act(_ int64) radio.Action {
+	switch p.r.Intn(3) {
+	case 0:
+		return radio.Action{Kind: radio.Broadcast, Ch: p.r.Intn(p.c), Data: 1}
+	case 1:
+		return radio.Action{Kind: radio.Listen, Ch: p.r.Intn(p.c)}
+	default:
+		return radio.Action{Kind: radio.Idle}
+	}
+}
+func (p *chatterProto) Observe(_ int64, _ *radio.Message) {}
+func (p *chatterProto) Done() bool                        { return false }

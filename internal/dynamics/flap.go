@@ -1,0 +1,104 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"crn/internal/graph"
+	"crn/internal/radio"
+	"crn/internal/rng"
+)
+
+// EdgeFlap models link-quality churn as independent per-edge Markov
+// on/off chains over the base edge set: a present edge drops with
+// probability pDrop per slot and an absent edge restores with
+// probability pRestore per slot (mean outage 1/pRestore slots) — the
+// fading/shadowing picture in which radios stay put but links come
+// and go. Edges never in the base set are never created.
+//
+// Determinism: edge i's chain runs on rng.New(seed).Split(i) with the
+// base edges in their finalized sorted order, so the trajectory is a
+// pure function of (seed, base edge list).
+type EdgeFlap struct {
+	edges          []graph.Edge
+	pDrop          float64
+	pRestore       float64
+	seed           uint64
+	streams        []*rng.Source
+	absent         []bool
+	lastMut        radio.TopologyMutator
+	transitionsCnt int64
+}
+
+// NewEdgeFlap returns a flapping model over the given base edges
+// (callers pass Graph.Edges() of a finalized graph; the slice is
+// copied). Probabilities must be in [0, 1].
+func NewEdgeFlap(edges []graph.Edge, pDrop, pRestore float64, seed uint64) (*EdgeFlap, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("dynamics: edge flap needs at least one base edge")
+	}
+	if pDrop < 0 || pDrop > 1 || pRestore < 0 || pRestore > 1 {
+		return nil, fmt.Errorf("dynamics: flap probabilities must be in [0,1], got %v and %v", pDrop, pRestore)
+	}
+	f := &EdgeFlap{
+		edges:    append([]graph.Edge(nil), edges...),
+		pDrop:    pDrop,
+		pRestore: pRestore,
+		seed:     seed,
+	}
+	f.reset()
+	return f, nil
+}
+
+func (f *EdgeFlap) reset() {
+	master := rng.New(f.seed)
+	f.streams = make([]*rng.Source, len(f.edges))
+	for i := range f.edges {
+		f.streams[i] = master.Split(uint64(i))
+	}
+	f.absent = make([]bool, len(f.edges))
+	f.lastMut = nil
+	f.transitionsCnt = 0
+}
+
+// NewRun implements RunScoped.
+func (f *EdgeFlap) NewRun() radio.TopologyFeed {
+	fresh, err := NewEdgeFlap(f.edges, f.pDrop, f.pRestore, f.seed)
+	if err != nil {
+		panic(err) // validated at construction
+	}
+	return fresh
+}
+
+// Step implements radio.TopologyFeed: advance every edge's chain one
+// slot and reconcile the engine's edge set.
+func (f *EdgeFlap) Step(_ int64, mut radio.TopologyMutator) {
+	resync := mut != f.lastMut
+	f.lastMut = mut
+	for i := range f.edges {
+		changed := false
+		if f.absent[i] {
+			if f.streams[i].Bernoulli(f.pRestore) {
+				f.absent[i] = false
+				changed = true
+			}
+		} else if f.streams[i].Bernoulli(f.pDrop) {
+			f.absent[i] = true
+			changed = true
+		}
+		if changed {
+			f.transitionsCnt++
+		}
+		if changed || resync {
+			u, v := int(f.edges[i].U), int(f.edges[i].V)
+			if f.absent[i] {
+				mut.RemoveEdge(u, v)
+			} else {
+				mut.AddEdge(u, v)
+			}
+		}
+	}
+}
+
+// Transitions returns the number of edge flips applied so far (a test
+// and debugging hook).
+func (f *EdgeFlap) Transitions() int64 { return f.transitionsCnt }

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"crn/internal/rng"
+)
+
+// rebuildFromDynamic constructs a fresh graph from scratch holding
+// exactly the dynamic view's current edge set — the oracle every
+// incremental invariant is checked against.
+func rebuildFromDynamic(t *testing.T, d *Dynamic) *Graph {
+	t.Helper()
+	g := New(d.N())
+	for _, e := range d.Graph().Edges() {
+		if err := g.AddEdge(int(e.U), int(e.V)); err != nil {
+			t.Fatalf("dynamic edge list holds invalid edge (%d,%d): %v", e.U, e.V, err)
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// assertDynamicMatches checks every structure the radio engine probes
+// — sorted adjacency, dense matrix / hash index, edge list, counts —
+// against the rebuilt-from-scratch oracle.
+func assertDynamicMatches(t *testing.T, d *Dynamic, oracle *Graph) {
+	t.Helper()
+	g := d.Graph()
+	if g.N() != oracle.N() || g.M() != oracle.M() {
+		t.Fatalf("dynamic n=%d m=%d, oracle n=%d m=%d", g.N(), g.M(), oracle.N(), oracle.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		got, want := g.Neighbors(u), oracle.Neighbors(u)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: adjacency %v, oracle %v", u, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: adjacency %v not sorted-equal to oracle %v", u, got, want)
+			}
+			if got[i] == want[i] && i > 0 && got[i-1] >= got[i] {
+				t.Fatalf("node %d: adjacency %v lost sorted invariant", u, got)
+			}
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if g.HasEdge(u, v) != oracle.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) = %v, oracle %v", u, v, g.HasEdge(u, v), oracle.HasEdge(u, v))
+			}
+			if g.Adjacent(u, v) != oracle.Adjacent(u, v) {
+				t.Fatalf("Adjacent(%d,%d) = %v, oracle %v", u, v, g.Adjacent(u, v), oracle.Adjacent(u, v))
+			}
+		}
+	}
+	if gm, om := g.NeighborMatrix(), oracle.NeighborMatrix(); (gm == nil) != (om == nil) {
+		t.Fatalf("matrix presence differs: dynamic %v, oracle %v", gm != nil, om != nil)
+	} else if gm != nil && !gm.EqualMatrix(om) {
+		t.Fatal("dynamic neighbor matrix diverged from oracle")
+	}
+	gotEdges := append([]Edge(nil), g.Edges()...)
+	wantEdges := append([]Edge(nil), oracle.Edges()...)
+	sortEdges(gotEdges)
+	sortEdges(wantEdges)
+	for i := range gotEdges {
+		if gotEdges[i] != wantEdges[i] {
+			t.Fatalf("edge sets differ at %d: %v vs %v", i, gotEdges[i], wantEdges[i])
+		}
+	}
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}
+
+// TestDynamicRandomizedOracle is the acceptance oracle: a long random
+// interleaving of incremental adds and removes must leave every
+// invariant identical to a graph rebuilt from scratch at checkpoints.
+func TestDynamicRandomizedOracle(t *testing.T) {
+	const n, ops, checkEvery = 24, 4000, 250
+	r := rng.New(42)
+	base, err := GNP(n, 0.25, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDynamic(base)
+	adds, removes := 0, 0
+	for op := 1; op <= ops; op++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if r.Bool() {
+			if d.AddEdge(u, v) {
+				adds++
+			} else if u != v && !d.HasEdge(u, v) {
+				t.Fatalf("AddEdge(%d,%d) refused a valid insertion", u, v)
+			}
+		} else {
+			if d.RemoveEdge(u, v) {
+				removes++
+			} else if d.HasEdge(u, v) {
+				t.Fatalf("RemoveEdge(%d,%d) refused a present edge", u, v)
+			}
+		}
+		if op%checkEvery == 0 {
+			assertDynamicMatches(t, d, rebuildFromDynamic(t, d))
+		}
+	}
+	if adds == 0 || removes == 0 {
+		t.Fatalf("workload degenerate: %d adds, %d removes", adds, removes)
+	}
+	assertDynamicMatches(t, d, rebuildFromDynamic(t, d))
+}
+
+// TestDynamicHashFallbackOracle exercises the hash edge-index path
+// (graphs above the dense-matrix node cap never allocate a matrix; the
+// test forces that path on a small graph via the edgeSet branch by
+// checking a large-n clone is still consistent incrementally).
+func TestDynamicHashFallbackOracle(t *testing.T) {
+	// A base just above the matrix cap would cost gigabytes of test
+	// time; instead build a small base, steal its shape into a graph
+	// constructed with the hash index, and run the same oracle.
+	const n, ops = 16, 1200
+	r := rng.New(7)
+	base, err := GNP(n, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed := New(n)
+	hashed.edgeSet = make(map[uint64]struct{})
+	for _, e := range base.Edges() {
+		hashed.MustAddEdge(int(e.U), int(e.V))
+	}
+	hashed.Finalize()
+	if hashed.NeighborMatrix() != nil {
+		t.Fatal("hash-index base unexpectedly built a matrix")
+	}
+	d := NewDynamic(hashed)
+	if d.Graph().NeighborMatrix() != nil {
+		t.Fatal("dynamic clone of a hash-index graph grew a matrix")
+	}
+	for op := 1; op <= ops; op++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if r.Bool() {
+			d.AddEdge(u, v)
+		} else {
+			d.RemoveEdge(u, v)
+		}
+		if op%200 == 0 {
+			oracle := New(n)
+			oracle.edgeSet = make(map[uint64]struct{})
+			for _, e := range d.Graph().Edges() {
+				oracle.MustAddEdge(int(e.U), int(e.V))
+			}
+			oracle.Finalize()
+			assertDynamicMatches(t, d, oracle)
+		}
+	}
+}
+
+// TestDynamicLeavesBaseUntouched: the clone is deep — mutating the
+// dynamic view must not disturb the base graph shared across sweep
+// workers.
+func TestDynamicLeavesBaseUntouched(t *testing.T) {
+	base, err := GNP(12, 0.3, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := base.M()
+	wantAdj := make([][]int32, base.N())
+	for u := range wantAdj {
+		wantAdj[u] = append([]int32(nil), base.Neighbors(u)...)
+	}
+	d := NewDynamic(base)
+	for u := 0; u < base.N(); u++ {
+		for v := u + 1; v < base.N(); v++ {
+			if d.HasEdge(u, v) {
+				d.RemoveEdge(u, v)
+			} else {
+				d.AddEdge(u, v)
+			}
+		}
+	}
+	if base.M() != wantM {
+		t.Fatalf("base edge count changed: %d -> %d", wantM, base.M())
+	}
+	for u := range wantAdj {
+		got := base.Neighbors(u)
+		if len(got) != len(wantAdj[u]) {
+			t.Fatalf("base adjacency of %d changed: %v -> %v", u, wantAdj[u], got)
+		}
+		for i := range got {
+			if got[i] != wantAdj[u][i] {
+				t.Fatalf("base adjacency of %d changed: %v -> %v", u, wantAdj[u], got)
+			}
+		}
+		for _, v := range wantAdj[u] {
+			if !base.HasEdge(u, int(v)) {
+				t.Fatalf("base lost edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+// TestUnitDiskGeometryConsistent: the returned point set explains the
+// returned edge set exactly.
+func TestUnitDiskGeometryConsistent(t *testing.T) {
+	g, geom, err := UnitDiskGeometry(30, 0.35, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(geom.X) != g.N() || len(geom.Y) != g.N() || geom.Radius != 0.35 {
+		t.Fatalf("geometry shape mismatch: %d/%d points, radius %v", len(geom.X), len(geom.Y), geom.Radius)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) != geom.InRange(u, v) {
+				t.Fatalf("edge (%d,%d)=%v disagrees with geometry range %v", u, v, g.HasEdge(u, v), geom.InRange(u, v))
+			}
+		}
+	}
+	c := geom.Clone()
+	c.X[0] += 1
+	if geom.X[0] == c.X[0] {
+		t.Fatal("Clone shares position storage")
+	}
+}

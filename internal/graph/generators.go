@@ -164,14 +164,47 @@ func GNP(n int, p float64, r *rng.Source) (*Graph, error) {
 	return nil, fmt.Errorf("graph: GNP(n=%d, p=%v) produced no connected sample in 64 attempts", n, p)
 }
 
+// Geometry is the point set a unit-disk graph was realized from: node
+// i sits at (X[i], Y[i]) in the unit square and edges connect pairs
+// within Radius. Mobility models move these points and re-derive the
+// edge set, so the geometry travels with the scenario.
+type Geometry struct {
+	X, Y   []float64
+	Radius float64
+}
+
+// InRange reports whether nodes u and v are within transmission range.
+func (ge *Geometry) InRange(u, v int) bool {
+	dx, dy := ge.X[u]-ge.X[v], ge.Y[u]-ge.Y[v]
+	return dx*dx+dy*dy <= ge.Radius*ge.Radius
+}
+
+// Clone returns a deep copy (mobility models mutate positions per run
+// while the scenario's realized geometry stays fixed).
+func (ge *Geometry) Clone() *Geometry {
+	return &Geometry{
+		X:      append([]float64(nil), ge.X...),
+		Y:      append([]float64(nil), ge.Y...),
+		Radius: ge.Radius,
+	}
+}
+
 // UnitDisk returns a random geometric (unit-disk) graph: n points
 // uniform in the unit square, edges between pairs within the given
 // radius. Retries until connected, erroring after 64 attempts. Unit
 // disk graphs are the standard abstraction for wireless transmission
 // ranges.
 func UnitDisk(n int, radius float64, r *rng.Source) (*Graph, error) {
+	g, _, err := UnitDiskGeometry(n, radius, r)
+	return g, err
+}
+
+// UnitDiskGeometry is UnitDisk returning the realized point set as
+// well, for mobility models that need the geometry the edges came
+// from.
+func UnitDiskGeometry(n int, radius float64, r *rng.Source) (*Graph, *Geometry, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("graph: UnitDisk needs n >= 1, got %d", n)
+		return nil, nil, fmt.Errorf("graph: UnitDisk needs n >= 1, got %d", n)
 	}
 	r2 := radius * radius
 	for attempt := 0; attempt < 64; attempt++ {
@@ -192,10 +225,10 @@ func UnitDisk(n int, radius float64, r *rng.Source) (*Graph, error) {
 		}
 		if g.Connected() {
 			g.Finalize()
-			return g, nil
+			return g, &Geometry{X: xs, Y: ys, Radius: radius}, nil
 		}
 	}
-	return nil, fmt.Errorf("graph: UnitDisk(n=%d, radius=%v) produced no connected sample in 64 attempts", n, radius)
+	return nil, nil, fmt.Errorf("graph: UnitDisk(n=%d, radius=%v) produced no connected sample in 64 attempts", n, radius)
 }
 
 // RandomRegularish returns a connected graph where every vertex has

@@ -37,6 +37,13 @@
 // After phase 3 the engine feeds reactive jammers (ActivitySink),
 // refreshes completion flags, and advances the slot counter in its
 // sequential section.
+//
+// Topology may be time-varying: a TopologyFeed installed on the
+// Network is stepped once per slot before phase 1, also from the
+// sequential section, mutating the engine's private graph.Dynamic
+// view (node churn, link flapping, mobility). Down nodes neither
+// transmit nor observe. Static runs never construct the view and
+// resolve against the shared graph exactly as before.
 package radio
 
 import (
@@ -125,6 +132,27 @@ type Stats struct {
 	Collisions int64
 	// JammedListens counts listener-slots lost to primary users.
 	JammedListens int64
+	// EdgeAdds and EdgeRemoves count topology mutations a TopologyFeed
+	// actually applied. Neither no-op reconciliations nor the feed's
+	// first Step on an engine (which re-establishes current state over
+	// the freshly cloned base topology) are counted, so the counters
+	// reflect model events even across multi-engine pipelines. Zero on
+	// static runs.
+	EdgeAdds    int64
+	EdgeRemoves int64
+	// NodeJoins and NodeLeaves count up/down transitions a TopologyFeed
+	// applied; DownSlots counts node-slots spent down (neither
+	// transmitting nor observing). Zero on static runs.
+	NodeJoins  int64
+	NodeLeaves int64
+	DownSlots  int64
+	// PartitionLosses counts listener-slots in which the base (static)
+	// topology would have delivered a frame but the current topology
+	// did not deliver that frame — deliveries lost to edges churned
+	// away (or gained) underneath the protocols. Down nodes do not
+	// listen, so their losses show up as DownSlots instead. Zero on
+	// static runs.
+	PartitionLosses int64
 	// Completed reports whether every protocol finished before the
 	// slot budget ran out.
 	Completed bool
@@ -142,6 +170,12 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Deliveries += o.Deliveries
 	s.Collisions += o.Collisions
 	s.JammedListens += o.JammedListens
+	s.EdgeAdds += o.EdgeAdds
+	s.EdgeRemoves += o.EdgeRemoves
+	s.NodeJoins += o.NodeJoins
+	s.NodeLeaves += o.NodeLeaves
+	s.DownSlots += o.DownSlots
+	s.PartitionLosses += o.PartitionLosses
 }
 
 // TraceFunc observes every delivery the engine resolves, for debugging
@@ -174,7 +208,50 @@ type ActivitySink interface {
 	ObserveActivity(slot int64, broadcastsByChannel []int)
 }
 
-// Network bundles the static instance a protocol runs on.
+// TopologyMutator is the engine-side handle a TopologyFeed mutates
+// topology through. Mutations apply to the engine's private dynamic
+// view (the network's base graph is never touched) and take effect in
+// the slot about to execute. Edge mutations keep the resolve fast
+// paths' invariants — sorted adjacency and the dense bit matrix —
+// updated incrementally; the boolean results report whether anything
+// actually changed, so feeds may reconcile desired state
+// declaratively and the engine counts only real changes.
+type TopologyMutator interface {
+	// N returns the node count (topology dynamics never change it).
+	N() int
+	// NodeUp reports whether the node is currently up.
+	NodeUp(u int) bool
+	// SetNodeUp sets a node up or down and reports whether the state
+	// changed. Down nodes neither transmit nor observe; their
+	// protocols freeze on their local clocks until rejoin.
+	SetNodeUp(u int, up bool) bool
+	// HasEdge reports whether {u, v} is currently an edge.
+	HasEdge(u, v int) bool
+	// AddEdge inserts {u, v}; no-op (false) when present or invalid.
+	AddEdge(u, v int) bool
+	// RemoveEdge deletes {u, v}; no-op (false) when absent or invalid.
+	RemoveEdge(u, v int) bool
+}
+
+// TopologyFeed drives per-slot topology mutation — node churn, link
+// flapping, mobility. It mirrors ActivitySink on the input side:
+// before each slot resolves, the engine calls Step exactly once from
+// its sequential section, so mutations apply between slots, are never
+// concurrent with protocol work, and feed Run and RunParallel
+// identically. Slot s's actions see every mutation Step(s, ·)
+// applied; a reactive jammer observing slot s's activity therefore
+// senses traffic that already ran on the mutated topology.
+//
+// Implementations must be deterministic (seed their randomness via
+// rng.Split) and, when stateful, run-scoped: callers sharing one
+// scenario across concurrent runs install a fresh instance per run
+// (internal/dynamics models implement a NewRun constructor the facade
+// uses, mirroring spectrum.RunScoped).
+type TopologyFeed interface {
+	Step(slot int64, mut TopologyMutator)
+}
+
+// Network bundles the instance a protocol runs on.
 type Network struct {
 	Graph  *graph.Graph
 	Assign *chanassign.Assignment
@@ -182,6 +259,11 @@ type Network struct {
 	// A Jammer that also implements ActivitySink receives per-slot
 	// activity reports.
 	Jammer Jammer
+	// Topology optionally makes the topology time-varying: the engine
+	// clones Graph into a private mutable view and calls the feed once
+	// per slot. nil means the static model of the paper. Graph itself
+	// is never mutated.
+	Topology TopologyFeed
 	// Trace optionally observes every delivery the engines resolve;
 	// Engine.SetTrace overrides it. Like SetTrace callbacks it may run
 	// concurrently under RunParallel.
@@ -206,10 +288,35 @@ type Engine struct {
 	protocols []Protocol
 	trace     TraceFunc
 
+	// g is the topology the engine resolves against: the network's
+	// graph on static runs, the engine's private graph.Dynamic view
+	// when a TopologyFeed is installed.
+	g *graph.Graph
+	// dyn is the mutable topology view (nil on static runs); topo is
+	// the installed feed and mut the engine-side mutator handed to it.
+	dyn  *graph.Dynamic
+	topo TopologyFeed
+	mut  TopologyMutator // pre-boxed engineMutator, one boxing per run
+	// countTopo gates the Stats mutation counters: false during the
+	// feed's first Step on this engine, where feeds re-establish their
+	// current state against the freshly cloned base topology (a
+	// multi-engine pipeline hands one feed several engines) — those
+	// reconciliations set initial conditions rather than model events.
+	countTopo bool
+	// baseG/baseNbr are the untouched base topology, for the
+	// partition-loss counterfactual (nil matrix on huge graphs).
+	baseG   *graph.Graph
+	baseNbr *bitset.Matrix
+
 	// scratch, reused across slots
 	actions  []Action
 	globalCh []int32 // resolved global channel per node, -1 when idle
 	done     []bool
+	// up[u] reports whether node u currently participates; all-true on
+	// static runs, driven by the TopologyFeed otherwise. A down node's
+	// Act and Observe are not called, so its protocol freezes on its
+	// local clock until rejoin.
+	up []bool
 	// doneAt[u] is the earliest observed-slot count at which protocol
 	// u may report Done (from FixedSchedule; 0 when unknown). minDoneAt
 	// is the minimum over live protocols, letting refreshDone skip the
@@ -267,9 +374,11 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 	e := &Engine{
 		nw:        nw,
 		protocols: protocols,
+		g:         nw.Graph,
 		actions:   make([]Action, n),
 		globalCh:  make([]int32, n),
 		done:      make([]bool, n),
+		up:        make([]bool, n),
 		doneAt:    make([]int64, n),
 		chCount:   make([]int32, u),
 		chHead:    make([]int32, u),
@@ -283,10 +392,31 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 	for i := range e.chHead {
 		e.chHead[i] = -1
 	}
+	for i := range e.up {
+		e.up[i] = true
+	}
+	if nw.Topology != nil {
+		// Dynamic topology: resolve against a private mutable clone so
+		// the shared base graph stays immutable, and keep the base for
+		// the partition-loss counterfactual.
+		e.topo = nw.Topology
+		e.dyn = graph.NewDynamic(nw.Graph)
+		e.g = e.dyn.Graph()
+		e.nbr = e.g.NeighborMatrix()
+		e.baseG = nw.Graph
+		e.baseNbr = nw.Graph.NeighborMatrix()
+		e.mut = engineMutator{e}
+	}
 	e.minDoneAt = -1
 	for i, p := range protocols {
-		if fs, ok := p.(FixedSchedule); ok {
-			e.doneAt[i] = fs.MinDoneSlots()
+		// FixedSchedule bounds are in observed slots; under a dynamic
+		// topology a down node observes nothing, so the bounds no
+		// longer map onto engine slots and the Done-poll skip is
+		// disabled (doneAt stays 0 — Done is simply polled every slot).
+		if e.topo == nil {
+			if fs, ok := p.(FixedSchedule); ok {
+				e.doneAt[i] = fs.MinDoneSlots()
+			}
 		}
 		if e.minDoneAt < 0 || e.doneAt[i] < e.minDoneAt {
 			e.minDoneAt = e.doneAt[i]
@@ -297,6 +427,67 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 		e.activity = make([]int, u)
 	}
 	return e, nil
+}
+
+// engineMutator is the TopologyMutator the engine hands its feed.
+type engineMutator struct{ e *Engine }
+
+func (m engineMutator) N() int { return len(m.e.protocols) }
+
+func (m engineMutator) NodeUp(u int) bool {
+	return u >= 0 && u < len(m.e.up) && m.e.up[u]
+}
+
+func (m engineMutator) SetNodeUp(u int, up bool) bool {
+	if u < 0 || u >= len(m.e.up) || m.e.up[u] == up {
+		return false
+	}
+	m.e.up[u] = up
+	if m.e.countTopo {
+		if up {
+			m.e.stats.NodeJoins++
+		} else {
+			m.e.stats.NodeLeaves++
+		}
+	}
+	return true
+}
+
+func (m engineMutator) HasEdge(u, v int) bool { return m.e.dyn.HasEdge(u, v) }
+
+func (m engineMutator) AddEdge(u, v int) bool {
+	if !m.e.dyn.AddEdge(u, v) {
+		return false
+	}
+	if m.e.countTopo {
+		m.e.stats.EdgeAdds++
+	}
+	return true
+}
+
+func (m engineMutator) RemoveEdge(u, v int) bool {
+	if !m.e.dyn.RemoveEdge(u, v) {
+		return false
+	}
+	if m.e.countTopo {
+		m.e.stats.EdgeRemoves++
+	}
+	return true
+}
+
+// applyTopology runs the feed for the slot about to execute. It is
+// called from the engines' sequential sections before the collect
+// phase, so mutations are never concurrent with protocol work and
+// both engines apply identical sequences. Mutations applied during
+// the feed's first Step on this engine are not counted in Stats —
+// they re-establish the feed's current state over the fresh clone
+// (see countTopo); everything after is a model event.
+func (e *Engine) applyTopology() {
+	if e.topo == nil {
+		return
+	}
+	e.topo.Step(e.slot, e.mut)
+	e.countTopo = true
 }
 
 // SetTrace installs a delivery trace callback (nil to disable).
@@ -408,6 +599,7 @@ func (e *Engine) RunParallelCtx(ctx context.Context, maxSlots int64, workers int
 			default:
 			}
 		}
+		e.applyTopology()
 		p.runPhase(phaseCollect)
 		e.buildIndex(p.segs)
 		p.runPhase(phaseResolve)
@@ -426,6 +618,7 @@ func (e *Engine) RunParallelCtx(ctx context.Context, maxSlots int64, workers int
 // collect → index → resolve/observe core.
 func (e *Engine) step() {
 	n := len(e.protocols)
+	e.applyTopology()
 	e.bcasters = e.collectActions(0, n, e.bcasters[:0])
 	e.seqSegs[0] = e.bcasters
 	e.buildIndex(e.seqSegs)
@@ -465,11 +658,12 @@ func (e *Engine) collectActions(lo, hi int, buf []int32) []int32 {
 	assign := e.nw.Assign
 	slot := e.slot
 	done := e.done
+	up := e.up
 	actions := e.actions
 	globalCh := e.globalCh
 	protocols := e.protocols
 	for u := lo; u < hi; u++ {
-		if done[u] {
+		if done[u] || !up[u] {
 			actions[u] = Action{Kind: Idle}
 			globalCh[u] = -1
 			continue
@@ -521,12 +715,23 @@ func (e *Engine) resetIndex() {
 
 // adjacent reports whether v is a neighbor of u: the cached dense
 // matrix when the graph built one, otherwise graph.Adjacent's sorted
-// binary search.
+// binary search. Under a TopologyFeed both consult the engine's
+// mutable view.
 func (e *Engine) adjacent(u int, v int32) bool {
 	if e.nbr != nil {
 		return e.nbr.Get(u, int(v))
 	}
-	return e.nw.Graph.Adjacent(u, int(v))
+	return e.g.Adjacent(u, int(v))
+}
+
+// baseAdjacent is adjacent against the untouched base topology, for
+// the partition-loss counterfactual. Only called when a TopologyFeed
+// is installed.
+func (e *Engine) baseAdjacent(u int, v int32) bool {
+	if e.baseNbr != nil {
+		return e.baseNbr.Get(u, int(v))
+	}
+	return e.baseG.Adjacent(u, int(v))
 }
 
 // resolveAndObserve is the resolve phase over nodes [lo, hi): it
@@ -537,10 +742,12 @@ func (e *Engine) adjacent(u int, v int32) bool {
 func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
 	// Hoist the hot slices into locals: the Observe interface calls
 	// force field reloads otherwise.
-	g := e.nw.Graph
+	g := e.g
 	jam := e.nw.Jammer
+	dynamic := e.topo != nil
 	slot := e.slot
 	done := e.done
+	up := e.up
 	actions := e.actions
 	globalCh := e.globalCh
 	protocols := e.protocols
@@ -549,6 +756,10 @@ func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
 	bcastNext := e.bcastNext
 	for u := lo; u < hi; u++ {
 		if done[u] {
+			continue
+		}
+		if !up[u] {
+			st.DownSlots++
 			continue
 		}
 		switch actions[u].Kind {
@@ -598,6 +809,26 @@ func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
 						}
 						from = v
 					}
+				}
+			}
+			if dynamic {
+				// Partition-loss counterfactual: would the base (static)
+				// topology have delivered a frame this listener-slot does
+				// not deliver? Walks the same broadcaster list against
+				// base adjacency — dynamics-only cost, early exit at 2.
+				baseTalkers := 0
+				var baseFrom int32 = -1
+				for v := chHead[ch]; v >= 0; v = bcastNext[v] {
+					if e.baseAdjacent(u, v) {
+						baseTalkers++
+						if baseTalkers > 1 {
+							break
+						}
+						baseFrom = v
+					}
+				}
+				if baseTalkers == 1 && (talkers != 1 || from != baseFrom) {
+					st.PartitionLosses++
 				}
 			}
 			switch {

@@ -167,6 +167,70 @@ func WithJammer(j Jammer) ScenarioOption {
 	}
 }
 
+// Topology-dynamics options make the *graph* time-varying the way the
+// spectrum options make the *channels* time-varying. They stack the
+// same way (models compose into one per-slot feed), are applied after
+// generation (they need the realized nodes/edges/geometry), and stay
+// sweep-safe: every run — including each run inside a Sweep — gets a
+// fresh model instance, so trajectories are deterministic per
+// scenario and byte-identical at any worker count. With any of them
+// installed, results carry a Result.Topology detail block.
+
+// WithChurn installs node churn: each node independently goes down
+// with probability pDown per slot and rejoins with probability pUp
+// per slot (mean downtime 1/pUp slots). Down nodes neither transmit
+// nor observe; their protocols freeze on their local clocks until
+// rejoin. The seed fixes the whole churn trajectory.
+func WithChurn(pDown, pUp float64, seed uint64) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			c, err := s.newChurn(pDown, pUp, seed)
+			if err != nil {
+				return err
+			}
+			s.addTopologyFeed(c)
+			return nil
+		})
+	}
+}
+
+// WithEdgeFlap installs link flapping: each realized edge
+// independently drops with probability pDrop per slot and restores
+// with probability pRestore per slot (mean outage 1/pRestore slots) —
+// fading links under stationary radios. The seed fixes the whole flap
+// trajectory.
+func WithEdgeFlap(pDrop, pRestore float64, seed uint64) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			f, err := s.newEdgeFlap(pDrop, pRestore, seed)
+			if err != nil {
+				return err
+			}
+			s.addTopologyFeed(f)
+			return nil
+		})
+	}
+}
+
+// WithMobility installs random-waypoint mobility over the scenario's
+// unit-disk geometry: nodes move toward uniformly random waypoints at
+// `speed` distance per slot (the unit square has side 1) and the edge
+// set is re-derived from positions every `every` slots. It requires
+// WithTopology(UnitDisk) — only geometric topologies carry the point
+// set mobility moves. The seed fixes the whole motion trail.
+func WithMobility(speed float64, every int64, seed uint64) ScenarioOption {
+	return func(b *scenarioBuilder) {
+		b.post = append(b.post, func(s *Scenario) error {
+			w, err := s.newMobility(speed, every, seed)
+			if err != nil {
+				return err
+			}
+			s.addTopologyFeed(w)
+			return nil
+		})
+	}
+}
+
 // DeliveryTraceFunc observes one frame delivery: in the given slot,
 // `listener` heard the frame `sender` broadcast on global channel
 // `channel`. See WithDeliveryTrace.

@@ -6,11 +6,15 @@ import (
 	"strings"
 )
 
-// Preset is a named spectrum-dynamics configuration: a bundle of
-// ScenarioOptions that installs a primary-user / adversary model on
-// top of whatever topology and channel options a scenario already has.
+// Preset is a named scenario-dynamics configuration: a bundle of
+// ScenarioOptions that installs a primary-user / adversary model —
+// or, for the topology presets, churn and mobility models — on top of
+// whatever topology and channel options a scenario already has.
 // Presets make scenario families comparable across experiments, the
-// CLI (crnsim -preset) and sweeps without re-stating model parameters.
+// CLI (crnsim -preset) and sweeps without re-stating model
+// parameters. Preset options are appended after the caller's, so a
+// preset that pins its own topology (mobile-sparse needs unit-disk
+// geometry) wins over an earlier WithTopology.
 type Preset struct {
 	// Name is the preset's stable identifier (e.g. "urban-busy").
 	Name string
@@ -29,13 +33,22 @@ const (
 	presetPoissonSeed = 0xBEEF
 )
 
-// PresetQuiet, PresetUrbanBusy, PresetBursty and PresetAdversarial
-// name the built-in presets.
+// Fixed topology-dynamics seeds, for the same reason: a preset's
+// churn/motion trajectory is part of its identity.
 const (
-	PresetQuiet       = "quiet"
-	PresetUrbanBusy   = "urban-busy"
-	PresetBursty      = "bursty"
-	PresetAdversarial = "adversarial-t"
+	presetChurnSeed    = 0xD00D
+	presetMobilitySeed = 0xFACADE
+)
+
+// PresetQuiet, PresetUrbanBusy, PresetBursty, PresetAdversarial,
+// PresetMobileSparse and PresetChurnHeavy name the built-in presets.
+const (
+	PresetQuiet        = "quiet"
+	PresetUrbanBusy    = "urban-busy"
+	PresetBursty       = "bursty"
+	PresetAdversarial  = "adversarial-t"
+	PresetMobileSparse = "mobile-sparse"
+	PresetChurnHeavy   = "churn-heavy"
 )
 
 // Presets returns the built-in scenario preset library, in
@@ -50,6 +63,11 @@ const (
 //   - adversarial-t: the paper's t-bounded adaptive adversary with the
 //     default budget (a quarter of the channel universe), reacting to
 //     observed secondary-user activity with a one-slot delay.
+//   - mobile-sparse: a sparse unit-disk network whose nodes move by
+//     random waypoint — neighborhoods drift, partitions come and go.
+//     Pins the topology to UnitDisk (mobility needs the geometry).
+//   - churn-heavy: aggressive node churn — nodes drop out and rejoin
+//     with ~11% stationary downtime, mean outage 12.5 slots.
 func Presets() []Preset {
 	return []Preset{
 		{
@@ -76,6 +94,22 @@ func Presets() []Preset {
 			Description: "t-bounded reactive adversary, t = universe/4, one-slot sensing delay",
 			Options: []ScenarioOption{
 				WithAdversary(0),
+			},
+		},
+		{
+			Name:        PresetMobileSparse,
+			Description: "sparse unit-disk topology under random-waypoint mobility (speed=0.004/slot, epoch=4)",
+			Options: []ScenarioOption{
+				WithTopology(UnitDisk),
+				WithDensity(0.34),
+				WithMobility(0.004, 4, presetMobilitySeed),
+			},
+		},
+		{
+			Name:        PresetChurnHeavy,
+			Description: "heavy node churn (pDown=0.01, pUp=0.08): ~11% of nodes down at any time",
+			Options: []ScenarioOption{
+				WithChurn(0.01, 0.08, presetChurnSeed),
 			},
 		},
 	}

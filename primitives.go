@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"crn/internal/core"
+	"crn/internal/dynamics"
 	"crn/internal/radio"
 	"crn/internal/rng"
 )
@@ -109,7 +110,34 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 		ds[u] = d
 		protos[u] = d
 	}
-	e, err := radio.NewEngine(s.runNetwork(), protos)
+	nw := s.runNetwork()
+	// Re-discovery accounting under a dynamic topology: protocols
+	// record observations on their local clocks (frozen while down),
+	// but re-discovery latency is measured against the churn model's
+	// engine-slot join log, so tap the engine's delivery trace for the
+	// first engine slot each pair was heard in. Discovery runs on the
+	// sequential engine, so the trace is ordered and race-free. Feeds
+	// without a join log (pure mobility/flapping) have nothing to
+	// measure against — skip the tap and its per-delivery cost.
+	joinLog, _ := nw.Topology.(dynamics.JoinLog)
+	var firstEngineHeard []map[radio.NodeID]int64
+	if joinLog != nil {
+		firstEngineHeard = make([]map[radio.NodeID]int64, n)
+		for u := range firstEngineHeard {
+			firstEngineHeard[u] = make(map[radio.NodeID]int64)
+		}
+		prev := nw.Trace
+		nw.Trace = func(slot int64, listener radio.NodeID, ch int32, msg *radio.Message) {
+			heard := firstEngineHeard[listener]
+			if _, ok := heard[msg.From]; !ok {
+				heard[msg.From] = slot
+			}
+			if prev != nil {
+				prev(slot, listener, ch, msg)
+			}
+		}
+	}
+	e, err := radio.NewEngine(nw, protos)
 	if err != nil {
 		return nil, err
 	}
@@ -197,14 +225,49 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 			}
 		}
 	}
-	return &Result{
+	res := &Result{
 		Primitive:       name,
 		ScheduleSlots:   ds[0].TotalSlots(),
 		CompletedAtSlot: completedAt,
 		Completed:       completedAt >= 0,
 		Discovery:       det,
 		Spectrum:        spectrumDetail(st),
-	}, nil
+	}
+	if nw.Topology != nil {
+		top := topologyDetail(st)
+		for u := 0; joinLog != nil && u < n; u++ {
+			for id, slot := range firstEngineHeard[u] {
+				// A pair is re-discovered when the neighbor had already
+				// gone down and rejoined by the time it was first heard;
+				// the latency runs from its latest rejoin.
+				var latest int64 = -1
+				for _, j := range joinLog.JoinSlots(int(id)) {
+					if j <= slot && j > latest {
+						latest = j
+					}
+				}
+				if latest >= 0 {
+					top.RediscoveredPairs++
+					top.RediscoveryLatencyTotal += slot - latest
+				}
+			}
+		}
+		res.Topology = top
+	}
+	return res, nil
+}
+
+// topologyDetail maps engine counters into the Result envelope's
+// topology-dynamics block.
+func topologyDetail(st radio.Stats) *TopologyDetail {
+	return &TopologyDetail{
+		EdgeAdds:        st.EdgeAdds,
+		EdgeRemoves:     st.EdgeRemoves,
+		NodeJoins:       st.NodeJoins,
+		NodeLeaves:      st.NodeLeaves,
+		DownNodeSlots:   st.DownSlots,
+		PartitionLosses: st.PartitionLosses,
+	}
 }
 
 // spectrumDetail maps engine counters into the Result envelope's
@@ -273,7 +336,8 @@ type globalBroadcastPrimitive struct {
 func (p globalBroadcastPrimitive) Name() string { return "cgcast" }
 
 func (p globalBroadcastPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
-	res, err := core.RunCGCastCtx(ctx, s.runNetwork(), core.BroadcastConfig{
+	nw := s.runNetwork()
+	res, err := core.RunCGCastCtx(ctx, nw, core.BroadcastConfig{
 		Params:  s.p,
 		D:       s.d,
 		Source:  radio.NodeID(p.source),
@@ -284,7 +348,7 @@ func (p globalBroadcastPrimitive) Run(ctx context.Context, s *Scenario, seed uin
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Primitive:       p.Name(),
 		ScheduleSlots:   res.TotalSlots,
 		CompletedAtSlot: res.AllInformedAt,
@@ -298,7 +362,11 @@ func (p globalBroadcastPrimitive) Run(ctx context.Context, s *Scenario, seed uin
 			ColoringValid:       res.ColoringValid,
 		},
 		Spectrum: spectrumDetail(res.Radio),
-	}, nil
+	}
+	if nw.Topology != nil {
+		out.Topology = topologyDetail(res.Radio)
+	}
+	return out, nil
 }
 
 // Flooding returns the naive flooding broadcast baseline: informed
@@ -316,11 +384,12 @@ type floodingPrimitive struct {
 func (p floodingPrimitive) Name() string { return "flood" }
 
 func (p floodingPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
-	res, err := core.RunFloodCtx(ctx, s.runNetwork(), s.p, s.d, radio.NodeID(p.source), p.message, seed)
+	nw := s.runNetwork()
+	res, err := core.RunFloodCtx(ctx, nw, s.p, s.d, radio.NodeID(p.source), p.message, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Primitive:       p.Name(),
 		ScheduleSlots:   res.ScheduleSlots,
 		CompletedAtSlot: res.AllInformedAt,
@@ -330,5 +399,9 @@ func (p floodingPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*
 			AllInformed:         res.AllInformed,
 		},
 		Spectrum: spectrumDetail(res.Radio),
-	}, nil
+	}
+	if nw.Topology != nil {
+		out.Topology = topologyDetail(res.Radio)
+	}
+	return out, nil
 }

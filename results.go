@@ -33,6 +33,10 @@ type Result struct {
 	// that ran in the radio model (dissemination; setup too under
 	// WithFullFidelity).
 	Spectrum *SpectrumDetail `json:"spectrum,omitempty"`
+	// Topology carries the run's topology-dynamics accounting; nil for
+	// the paper's static model (no WithChurn / WithEdgeFlap /
+	// WithMobility option installed).
+	Topology *TopologyDetail `json:"topology,omitempty"`
 }
 
 // SpectrumDetail reports one run's radio-level spectrum accounting.
@@ -48,6 +52,40 @@ type SpectrumDetail struct {
 	// adversary — the jammed-slot accounting for spectrum-dynamics
 	// experiments.
 	JammedListens int64 `json:"jammedListens"`
+}
+
+// TopologyDetail reports one run's topology dynamics: how much the
+// graph changed underneath the protocols and what it cost them.
+type TopologyDetail struct {
+	// EdgeAdds / EdgeRemoves count edge mutations actually applied.
+	EdgeAdds    int64 `json:"edgeAdds"`
+	EdgeRemoves int64 `json:"edgeRemoves"`
+	// NodeJoins / NodeLeaves count up/down transitions; DownNodeSlots
+	// counts node-slots spent down (neither transmitting nor
+	// observing).
+	NodeJoins     int64 `json:"nodeJoins"`
+	NodeLeaves    int64 `json:"nodeLeaves"`
+	DownNodeSlots int64 `json:"downNodeSlots"`
+	// PartitionLosses counts listener-slots in which the static base
+	// topology would have delivered a frame but the dynamic topology
+	// did not deliver it — deliveries lost to churned-away edges.
+	PartitionLosses int64 `json:"partitionLosses"`
+	// RediscoveredPairs counts directed (node, neighbor) discoveries
+	// made after the neighbor had gone down and rejoined —
+	// re-discovery under churn. RediscoveryLatencyTotal sums, over
+	// those pairs, the engine slots from the neighbor's rejoin to the
+	// discovery. Discovery primitives only; zero elsewhere.
+	RediscoveredPairs       int   `json:"rediscoveredPairs,omitempty"`
+	RediscoveryLatencyTotal int64 `json:"rediscoveryLatencyTotal,omitempty"`
+}
+
+// MeanRediscoveryLatency returns the mean slots from a neighbor's
+// rejoin to its re-discovery, or -1 when nothing was re-discovered.
+func (d *TopologyDetail) MeanRediscoveryLatency() float64 {
+	if d.RediscoveredPairs == 0 {
+		return -1
+	}
+	return float64(d.RediscoveryLatencyTotal) / float64(d.RediscoveredPairs)
 }
 
 // DiscoveryDetail reports one neighbor-discovery run. For KDiscovery
@@ -122,6 +160,16 @@ func (r *Result) Metrics() map[string]float64 {
 		m["jammedListens"] = float64(sp.JammedListens)
 		m["deliveries"] = float64(sp.Deliveries)
 		m["collisions"] = float64(sp.Collisions)
+	}
+	if tp := r.Topology; tp != nil {
+		m["edgeChanges"] = float64(tp.EdgeAdds + tp.EdgeRemoves)
+		m["nodeChurnEvents"] = float64(tp.NodeJoins + tp.NodeLeaves)
+		m["downNodeSlots"] = float64(tp.DownNodeSlots)
+		m["partitionLosses"] = float64(tp.PartitionLosses)
+		m["rediscoveredPairs"] = float64(tp.RediscoveredPairs)
+		if tp.RediscoveredPairs > 0 {
+			m["rediscoveryLatencyMean"] = tp.MeanRediscoveryLatency()
+		}
 	}
 	return m
 }

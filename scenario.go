@@ -5,6 +5,7 @@ import (
 
 	"crn/internal/chanassign"
 	"crn/internal/core"
+	"crn/internal/dynamics"
 	"crn/internal/graph"
 	"crn/internal/radio"
 	"crn/internal/rng"
@@ -31,6 +32,15 @@ const (
 	Tree Topology = "tree"
 	// UnitDisk is a random geometric graph in the unit square.
 	UnitDisk Topology = "unitdisk"
+	// Ring is a cycle on n >= 3 vertices (Δ = 2, D = n/2).
+	Ring Topology = "ring"
+	// Complete is the complete graph K_n (Δ = n-1, D = 1).
+	Complete Topology = "complete"
+	// Regular is a connected random near-regular graph: a Hamiltonian
+	// cycle plus random chords until every vertex's degree is close to
+	// d = max(2, round(Density·(n-1))) (Density 0 picks d = 4) —
+	// sweeping Δ at fixed n without changing D much.
+	Regular Topology = "regular"
 )
 
 // Algorithm names a neighbor-discovery algorithm.
@@ -61,6 +71,13 @@ type Scenario struct {
 	// trace, when set (WithDeliveryTrace), observes every frame
 	// delivery of every run on this scenario.
 	trace radio.TraceFunc
+	// geom is the realized unit-disk point set (nil for non-geometric
+	// topologies); mobility models move a per-run clone of it.
+	geom *graph.Geometry
+	// topo is the composed topology-dynamics prototype (nil for the
+	// paper's static model); every run gets a fresh instance via
+	// dynamics run scoping.
+	topo radio.TopologyFeed
 }
 
 // Jammer models primary-user occupancy: Jammed reports whether the
@@ -124,7 +141,7 @@ func newGeneratedScenario(cfg ScenarioConfig) (*Scenario, error) {
 	}
 	r := rng.New(cfg.Seed)
 
-	g, err := buildTopology(cfg, r)
+	g, geom, err := buildTopology(cfg, r)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +154,12 @@ func newGeneratedScenario(cfg ScenarioConfig) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newScenario(g, a, cfg.Tuning)
+	s, err := newScenario(g, a, cfg.Tuning)
+	if err != nil {
+		return nil, err
+	}
+	s.geom = geom
+	return s, nil
 }
 
 // CustomConfig describes an explicit scenario: an edge list plus
@@ -249,32 +271,35 @@ func newScenario(g *graph.Graph, a *chanassign.Assignment, tuning *core.Tuning) 
 	return &Scenario{g: g, a: a, p: p, nw: &radio.Network{Graph: g, Assign: a}, d: d}, nil
 }
 
-func buildTopology(cfg ScenarioConfig, r *rng.Source) (*graph.Graph, error) {
+func buildTopology(cfg ScenarioConfig, r *rng.Source) (*graph.Graph, *graph.Geometry, error) {
 	switch cfg.Topology {
 	case GNP, "":
 		p := cfg.Density
 		if p == 0 {
 			p = 0.3
 		}
-		return graph.GNP(cfg.N, p, r)
+		g, err := graph.GNP(cfg.N, p, r)
+		return g, nil, err
 	case Star:
-		return graph.Star(cfg.N), nil
+		return graph.Star(cfg.N), nil, nil
 	case Path:
-		return graph.Path(cfg.N), nil
+		return graph.Path(cfg.N), nil, nil
 	case Grid:
 		rows := 1
 		for (rows+1)*(rows+1) <= cfg.N {
 			rows++
 		}
 		cols := (cfg.N + rows - 1) / rows
-		return graph.Grid(rows, cols)
+		g, err := graph.Grid(rows, cols)
+		return g, nil, err
 	case Chain:
 		const clusterSize = 4
 		clusters := cfg.N / clusterSize
 		if clusters < 1 {
 			clusters = 1
 		}
-		return graph.ClusterChain(clusters, clusterSize)
+		g, err := graph.ClusterChain(clusters, clusterSize)
+		return g, nil, err
 	case Tree:
 		branching := cfg.C - 1
 		if branching < 1 {
@@ -287,15 +312,40 @@ func buildTopology(cfg ScenarioConfig, r *rng.Source) (*graph.Graph, error) {
 			count += level
 			height++
 		}
-		return graph.CompleteTree(branching, height)
+		g, err := graph.CompleteTree(branching, height)
+		return g, nil, err
 	case UnitDisk:
 		radius := cfg.Density
 		if radius == 0 {
 			radius = 0.35
 		}
-		return graph.UnitDisk(cfg.N, radius, r)
+		return graph.UnitDiskGeometry(cfg.N, radius, r)
+	case Ring:
+		g, err := graph.Cycle(cfg.N)
+		return g, nil, err
+	case Complete:
+		if cfg.N < 2 {
+			return nil, nil, fmt.Errorf("crn: complete topology needs n >= 2, got %d", cfg.N)
+		}
+		return graph.Complete(cfg.N), nil, nil
+	case Regular:
+		if cfg.N < 3 {
+			return nil, nil, fmt.Errorf("crn: regular topology needs n >= 3, got %d", cfg.N)
+		}
+		d := 4
+		if cfg.Density != 0 {
+			d = int(cfg.Density*float64(cfg.N-1) + 0.5)
+		}
+		if d < 2 {
+			d = 2
+		}
+		if d >= cfg.N {
+			d = cfg.N - 1
+		}
+		g, err := graph.RandomRegularish(cfg.N, d, r)
+		return g, nil, err
 	default:
-		return nil, fmt.Errorf("crn: unknown topology %q", cfg.Topology)
+		return nil, nil, fmt.Errorf("crn: unknown topology %q", cfg.Topology)
 	}
 }
 
@@ -379,6 +429,45 @@ func (s *Scenario) addJammer(j spectrum.Jammer) {
 	s.nw.Jammer = j
 }
 
+// newChurn builds the node-churn model over the realized node count.
+func (s *Scenario) newChurn(pDown, pUp float64, seed uint64) (radio.TopologyFeed, error) {
+	c, err := dynamics.NewChurn(s.g.N(), pDown, pUp, seed)
+	if err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	return c, nil
+}
+
+// newEdgeFlap builds the link-flapping model over the realized edges.
+func (s *Scenario) newEdgeFlap(pDrop, pRestore float64, seed uint64) (radio.TopologyFeed, error) {
+	f, err := dynamics.NewEdgeFlap(s.g.Edges(), pDrop, pRestore, seed)
+	if err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	return f, nil
+}
+
+// newMobility builds the random-waypoint model over the scenario's
+// realized unit-disk geometry; it errors on topologies without one.
+func (s *Scenario) newMobility(speed float64, every int64, seed uint64) (radio.TopologyFeed, error) {
+	if s.geom == nil {
+		return nil, fmt.Errorf("crn: WithMobility needs a geometric topology (WithTopology(UnitDisk))")
+	}
+	w, err := dynamics.NewRandomWaypoint(s.geom, speed, every, seed)
+	if err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	return w, nil
+}
+
+// addTopologyFeed stacks a dynamics model on top of any already
+// installed one (the ScenarioOption path: like spectrum options,
+// dynamics options compose — churn plus link flapping is two
+// options). The composed prototype is instantiated per run.
+func (s *Scenario) addTopologyFeed(f radio.TopologyFeed) {
+	s.topo = dynamics.Compose(s.topo, f)
+}
+
 // setPeriodicPrimaryUsers installs duty-cycled primary users,
 // replacing any installed model (the deprecated
 // SetPeriodicPrimaryUsers contract).
@@ -419,18 +508,25 @@ func (s *Scenario) setJammer(j Jammer) {
 
 // runNetwork returns the network a single simulation run should use.
 // Scenarios are shared read-only across sweep workers, but stateful
-// jammers (spectrum.RunScoped — the reactive adversary) carry per-run
-// state, so each run gets a shallow network copy holding a fresh
-// jammer instance; a delivery-trace callback rides along the same way.
-// Stateless scenarios return the shared network unchanged.
+// jammers (spectrum.RunScoped — the reactive adversary) and topology
+// feeds (always stateful) carry per-run state, so each run gets a
+// shallow network copy holding fresh instances; a delivery-trace
+// callback rides along the same way. Stateless scenarios return the
+// shared network unchanged.
 func (s *Scenario) runNetwork() *radio.Network {
 	rs, scoped := s.nw.Jammer.(spectrum.RunScoped)
-	if !scoped && s.trace == nil {
+	if !scoped && s.trace == nil && s.topo == nil {
 		return s.nw
 	}
 	nw := *s.nw
 	if scoped {
 		nw.Jammer = rs.NewRun()
+	}
+	if s.topo != nil {
+		nw.Topology = s.topo
+		if drs, ok := s.topo.(dynamics.RunScoped); ok {
+			nw.Topology = drs.NewRun()
+		}
 	}
 	if s.trace != nil {
 		nw.Trace = s.trace
