@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"testing"
 
 	"crn"
@@ -254,12 +255,103 @@ func (p *randProto) Act(_ int64) radio.Action {
 func (p *randProto) Observe(_ int64, _ *radio.Message) {}
 func (p *randProto) Done() bool                        { return false }
 
+// Comparison thresholds for -compare. Wall time on shared CI runners
+// is noisy, so time regressions only warn; allocation counts are
+// nearly deterministic, so they gate.
+const (
+	allocFailFactor = 1.5
+	allocFailSlack  = 2
+	timeWarnFactor  = 1.5
+)
+
+// allocLimit is generous for real allocation counts (1.5× plus a
+// small slack for integer jitter on tiny baselines) but exact for
+// allocation-free ones: allocs/op is already amortized across the
+// benchmark's iterations — one-off setup allocations round to 0 —
+// so a 0-alloc hot loop reporting even 1 alloc/op is a real
+// per-iteration regression, not noise.
+func allocLimit(baseline int64) int64 {
+	if baseline == 0 {
+		return 0
+	}
+	return int64(float64(baseline)*allocFailFactor) + allocFailSlack
+}
+
+// compareReports checks current against baseline: it returns an error
+// naming every allocation regression and prints warnings for wall-time
+// regressions. Benchmarks without a baseline entry (or baselines
+// without a current run) are noted but never fail — renaming a
+// benchmark should not brick CI.
+func compareReports(w io.Writer, baseline, current BenchReport) error {
+	base := make(map[string]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regressions []string
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok {
+			fmt.Fprintf(w, "NOTE  %-22s has no baseline entry\n", cur.Name)
+			continue
+		}
+		delete(base, cur.Name)
+		if limit := allocLimit(b.AllocsPerOp); cur.AllocsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op, baseline %d (limit %d)", cur.Name, cur.AllocsPerOp, b.AllocsPerOp, limit))
+			fmt.Fprintf(w, "FAIL  %-22s %d allocs/op exceeds limit %d (baseline %d)\n",
+				cur.Name, cur.AllocsPerOp, limit, b.AllocsPerOp)
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*timeWarnFactor {
+			fmt.Fprintf(w, "WARN  %-22s %.0f ns/op is %.2fx baseline %.0f ns/op (time regressions warn only)\n",
+				cur.Name, cur.NsPerOp, cur.NsPerOp/b.NsPerOp, b.NsPerOp)
+		}
+	}
+	for name := range base {
+		fmt.Fprintf(w, "NOTE  %-22s in baseline but not in this run\n", name)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d allocation regression(s) against baseline:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "compare: no allocation regressions against baseline\n")
+	return nil
+}
+
+// loadBaseline reads a committed BenchReport (e.g. BENCH_4.json).
+func loadBaseline(path string) (BenchReport, error) {
+	var report BenchReport
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return report, err
+	}
+	if err := json.Unmarshal(doc, &report); err != nil {
+		return report, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(report.Results) == 0 {
+		return report, fmt.Errorf("baseline %s has no results", path)
+	}
+	return report, nil
+}
+
 // runBench executes the benchmark suite and writes the report.
 // format is "json" or "text"; out optionally names a file the JSON
 // report is additionally written to. In json mode w carries only the
 // JSON document (progress lines go to stderr), so the output pipes
 // cleanly into jq and friends.
-func runBench(w io.Writer, format, out string) error {
+//
+// compare optionally names a baseline report (a committed BENCH_*.json)
+// to gate against: allocation regressions fail (after the report and
+// out file are written, so CI can still archive them), wall-time
+// regressions warn. This is the CI bench-regression gate.
+func runBench(w io.Writer, format, out, compare string) error {
+	var baseline BenchReport
+	if compare != "" {
+		// Load before the (minutes-long) suite so a bad path fails fast.
+		var err error
+		if baseline, err = loadBaseline(compare); err != nil {
+			return err
+		}
+	}
 	specs, err := benchSuite()
 	if err != nil {
 		return err
@@ -286,23 +378,25 @@ func runBench(w io.Writer, format, out string) error {
 		fmt.Fprintf(progress, "%-22s %14.0f ns/op %10d allocs/op %14.3g node-slots/s\n",
 			spec.name, res.NsPerOp, res.AllocsPerOp, res.NodeSlotsPerSec)
 	}
-	if format != "json" && out == "" {
-		return nil
-	}
-	doc, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	doc = append(doc, '\n')
-	if format == "json" {
-		if _, err := w.Write(doc); err != nil {
+	if format == "json" || out != "" {
+		doc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
 			return err
 		}
-	}
-	if out != "" {
-		if err := os.WriteFile(out, doc, 0o644); err != nil {
-			return err
+		doc = append(doc, '\n')
+		if format == "json" {
+			if _, err := w.Write(doc); err != nil {
+				return err
+			}
 		}
+		if out != "" {
+			if err := os.WriteFile(out, doc, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if compare != "" {
+		return compareReports(progress, baseline, report)
 	}
 	return nil
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	crnbench [-scale quick|full] [-run E1,E7] [-seed 42] [-list]
-//	crnbench -bench [-format json|text] [-out BENCH.json]
+//	crnbench -bench [-format json|text] [-out BENCH.json] [-compare BENCH_4.json]
 package main
 
 import (
@@ -38,6 +38,7 @@ func run(args []string, w io.Writer) error {
 		bench     = fs.Bool("bench", false, "run the performance benchmark suite instead of experiments")
 		format    = fs.String("format", "text", "benchmark report format: text or json")
 		out       = fs.String("out", "", "also write the JSON benchmark report to this file")
+		compare   = fs.String("compare", "", "baseline BENCH_*.json to gate against: fail on allocs/op regressions, warn on ns/op")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,7 +48,10 @@ func run(args []string, w io.Writer) error {
 		if *format != "text" && *format != "json" {
 			return fmt.Errorf("unknown format %q (want text or json)", *format)
 		}
-		return runBench(w, *format, *out)
+		return runBench(w, *format, *out, *compare)
+	}
+	if *compare != "" {
+		return fmt.Errorf("-compare requires -bench")
 	}
 
 	defs := experiments.All()

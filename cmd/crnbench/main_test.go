@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -41,5 +42,73 @@ func TestRunSingleQuickExperiment(t *testing.T) {
 func TestRunBenchBadFormat(t *testing.T) {
 	if err := run([]string{"-bench", "-format", "yaml"}, io.Discard); err == nil {
 		t.Error("unknown bench format accepted")
+	}
+}
+
+func TestRunCompareRequiresBench(t *testing.T) {
+	if err := run([]string{"-compare", "BENCH_4.json"}, io.Discard); err == nil {
+		t.Error("-compare without -bench accepted")
+	}
+	if err := run([]string{"-bench", "-compare", "/nonexistent.json"}, io.Discard); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	baseline := BenchReport{Results: []BenchResult{
+		{Name: "engine/slot", NsPerOp: 3000, AllocsPerOp: 0},
+		{Name: "primitive/cseek", NsPerOp: 16e6, AllocsPerOp: 400},
+		{Name: "retired/bench", NsPerOp: 1, AllocsPerOp: 1},
+	}}
+
+	// Within thresholds: the zero-alloc baseline stays at zero, the
+	// nonzero one has headroom, a fresh benchmark has no baseline,
+	// time is slower but only warns.
+	ok := BenchReport{Results: []BenchResult{
+		{Name: "engine/slot", NsPerOp: 4000, AllocsPerOp: 0},
+		{Name: "primitive/cseek", NsPerOp: 30e6, AllocsPerOp: 500},
+		{Name: "primitive/new", NsPerOp: 1, AllocsPerOp: 99},
+	}}
+	var out strings.Builder
+	if err := compareReports(&out, baseline, ok); err != nil {
+		t.Fatalf("within-threshold report failed: %v", err)
+	}
+	for _, want := range []string{"WARN", "primitive/new", "retired/bench"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A zero-alloc hot loop growing even one alloc/op is a real
+	// per-iteration regression (allocs/op is already amortized): fail,
+	// and name the benchmark.
+	bad := BenchReport{Results: []BenchResult{
+		{Name: "engine/slot", NsPerOp: 3000, AllocsPerOp: 1},
+		{Name: "primitive/cseek", NsPerOp: 16e6, AllocsPerOp: 400},
+	}}
+	err := compareReports(io.Discard, baseline, bad)
+	if err == nil {
+		t.Fatal("allocation regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "engine/slot") {
+		t.Errorf("regression error does not name the benchmark: %v", err)
+	}
+
+	// A nonzero baseline regressing past 1.5× + slack fails too.
+	bloat := BenchReport{Results: []BenchResult{
+		{Name: "engine/slot", NsPerOp: 3000, AllocsPerOp: 0},
+		{Name: "primitive/cseek", NsPerOp: 16e6, AllocsPerOp: 700},
+	}}
+	if err := compareReports(io.Discard, baseline, bloat); err == nil {
+		t.Error("1.75x allocation growth passed the gate")
+	}
+
+	// Time-only regressions never fail.
+	slow := BenchReport{Results: []BenchResult{
+		{Name: "engine/slot", NsPerOp: 30000, AllocsPerOp: 0},
+		{Name: "primitive/cseek", NsPerOp: 160e6, AllocsPerOp: 400},
+	}}
+	if err := compareReports(io.Discard, baseline, slow); err != nil {
+		t.Errorf("time-only regression failed the gate: %v", err)
 	}
 }

@@ -31,10 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"crn"
@@ -83,12 +81,12 @@ func run(args []string, w io.Writer) error {
 		}
 		opts = append(opts, p.Options...)
 	}
-	specOpts, err := parseSpectrum(*spec, *seed)
+	specOpts, err := crn.ParseSpectrum(*spec, *seed)
 	if err != nil {
 		return err
 	}
 	opts = append(opts, specOpts...)
-	dynOpts, err := parseDynamics(*dyn, *seed)
+	dynOpts, err := crn.ParseDynamics(*dyn, *seed)
 	if err != nil {
 		return err
 	}
@@ -188,117 +186,4 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return nil
-}
-
-// parseDynamics turns a "+"-stacked -dynamics spec into scenario
-// options. Models derive their trajectory seed from the run seed, so
-// -seed reproduces the whole simulation including the topology churn.
-func parseDynamics(spec string, seed uint64) ([]crn.ScenarioOption, error) {
-	if spec == "" || spec == "none" {
-		return nil, nil
-	}
-	var opts []crn.ScenarioOption
-	for i, part := range strings.Split(spec, "+") {
-		model, argstr, _ := strings.Cut(strings.TrimSpace(part), ":")
-		// Decorrelate stacked models, as parseSpectrum does — and XOR a
-		// domain constant so dynamics model i never shares a seed with
-		// spectrum model i (same-seeded models draw byte-identical
-		// per-channel/per-node rng streams, correlating primary-user
-		// occupancy with churn).
-		modelSeed := (seed + uint64(i)*0x9E3779B97F4A7C15) ^ 0xD15EA5ED
-		var args []float64
-		if argstr != "" {
-			for _, a := range strings.Split(argstr, ",") {
-				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
-				if err != nil {
-					return nil, fmt.Errorf("dynamics spec %q: bad number %q", part, a)
-				}
-				args = append(args, v)
-			}
-		}
-		switch model {
-		case "churn":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("dynamics spec %q: want churn:<pDown>,<pUp>", part)
-			}
-			opts = append(opts, crn.WithChurn(args[0], args[1], modelSeed))
-		case "flap":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("dynamics spec %q: want flap:<pDrop>,<pRestore>", part)
-			}
-			opts = append(opts, crn.WithEdgeFlap(args[0], args[1], modelSeed))
-		case "waypoint":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("dynamics spec %q: want waypoint:<speed>,<every>", part)
-			}
-			if args[1] != math.Trunc(args[1]) || args[1] < 1 {
-				return nil, fmt.Errorf("dynamics spec %q: epoch stride must be a positive integer", part)
-			}
-			opts = append(opts, crn.WithMobility(args[0], int64(args[1]), modelSeed))
-		default:
-			return nil, fmt.Errorf("dynamics spec %q: unknown model (have churn, flap, waypoint)", part)
-		}
-	}
-	return opts, nil
-}
-
-// parseSpectrum turns a "+"-stacked -spectrum spec into scenario
-// options. Stochastic models derive their occupancy seed from the run
-// seed, so -seed reproduces the whole simulation including the primary
-// traffic.
-func parseSpectrum(spec string, seed uint64) ([]crn.ScenarioOption, error) {
-	if spec == "" || spec == "none" {
-		return nil, nil
-	}
-	var opts []crn.ScenarioOption
-	for i, part := range strings.Split(spec, "+") {
-		model, argstr, _ := strings.Cut(strings.TrimSpace(part), ":")
-		// Decorrelate stacked stochastic models: each position gets its
-		// own occupancy seed, or same-seeded markov+poisson would draw
-		// byte-identical per-channel random sequences.
-		modelSeed := seed + uint64(i)*0x9E3779B97F4A7C15
-		var args []float64
-		if argstr != "" && model != "adversary" {
-			for _, a := range strings.Split(argstr, ",") {
-				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
-				if err != nil {
-					return nil, fmt.Errorf("spectrum spec %q: bad number %q", part, a)
-				}
-				args = append(args, v)
-			}
-		}
-		switch model {
-		case "periodic":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("spectrum spec %q: want periodic:<period>,<onSlots>", part)
-			}
-			if args[0] != math.Trunc(args[0]) || args[1] != math.Trunc(args[1]) {
-				return nil, fmt.Errorf("spectrum spec %q: periodic slot counts must be integers", part)
-			}
-			opts = append(opts, crn.WithPeriodicPrimaryUsers(int64(args[0]), int64(args[1])))
-		case "markov":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("spectrum spec %q: want markov:<pBusy>,<pFree>", part)
-			}
-			opts = append(opts, crn.WithMarkovPrimaryUsers(args[0], args[1], 0, modelSeed))
-		case "poisson":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("spectrum spec %q: want poisson:<rate>,<meanHold>", part)
-			}
-			opts = append(opts, crn.WithPoissonPrimaryUsers(args[0], args[1], 0, modelSeed))
-		case "adversary":
-			t := 0
-			if argstr != "" {
-				v, err := strconv.Atoi(strings.TrimSpace(argstr))
-				if err != nil {
-					return nil, fmt.Errorf("spectrum spec %q: want adversary:<t> with integer t", part)
-				}
-				t = v
-			}
-			opts = append(opts, crn.WithAdversary(t))
-		default:
-			return nil, fmt.Errorf("spectrum spec %q: unknown model (have periodic, markov, poisson, adversary)", part)
-		}
-	}
-	return opts, nil
 }

@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"crn"
 )
 
 func TestRunBadFlag(t *testing.T) {
@@ -59,7 +61,7 @@ func TestParseSpectrum(t *testing.T) {
 		"periodic:40,12+poisson:0.01,25+adversary:1",
 	}
 	for _, spec := range good {
-		if _, err := parseSpectrum(spec, 1); err != nil {
+		if _, err := crn.ParseSpectrum(spec, 1); err != nil {
 			t.Errorf("parseSpectrum(%q): %v", spec, err)
 		}
 	}
@@ -75,7 +77,7 @@ func TestParseSpectrum(t *testing.T) {
 		"periodic:40.5,12",
 	}
 	for _, spec := range bad {
-		if _, err := parseSpectrum(spec, 1); err == nil {
+		if _, err := crn.ParseSpectrum(spec, 1); err == nil {
 			t.Errorf("parseSpectrum(%q) accepted", spec)
 		}
 	}
@@ -91,7 +93,7 @@ func TestParseDynamics(t *testing.T) {
 		"churn:0.01,0.08+flap:0.01,0.1",
 	}
 	for _, spec := range good {
-		if _, err := parseDynamics(spec, 1); err != nil {
+		if _, err := crn.ParseDynamics(spec, 1); err != nil {
 			t.Errorf("parseDynamics(%q): %v", spec, err)
 		}
 	}
@@ -105,7 +107,7 @@ func TestParseDynamics(t *testing.T) {
 		"waypoint:0.005,0",
 	}
 	for _, spec := range bad {
-		if _, err := parseDynamics(spec, 1); err == nil {
+		if _, err := crn.ParseDynamics(spec, 1); err == nil {
 			t.Errorf("parseDynamics(%q) accepted", spec)
 		}
 	}

@@ -1,0 +1,555 @@
+// Command crnsweep is the distributed front end of crn.Sweep: it
+// partitions a declaratively-specified sweep into shards that
+// independent processes (CI matrix jobs, cluster workers, extra
+// terminals) execute, and merges the per-shard artifacts back into
+// the exact output a single-process sweep would have produced —
+// byte-identical, because per-run seeds derive from the sweep's base
+// seed and grid position alone and the aggregation path is shared
+// with crn.Sweep.
+//
+// The pipeline is manifest-driven:
+//
+//	crnsweep plan   -spec spec.json -shards 4 -dir out   # write out/manifest.json
+//	crnsweep run    -manifest out/manifest.json -shard 2 # write out/shard-2.json
+//	crnsweep merge  -manifest out/manifest.json          # write out/merged.json
+//	crnsweep resume -manifest out/manifest.json          # re-run invalid/missing shards, then merge
+//	crnsweep sweep  -spec spec.json -out single.json     # single-process reference (crn.Sweep)
+//
+// The manifest records the spec, the shard plan and a hash over both;
+// every shard artifact embeds that hash, so merge and resume refuse
+// artifacts produced under a different spec, plan or base seed, and
+// resume skips exactly the shards whose artifacts still validate.
+//
+// The spec file is a JSON mirror of crn.SweepSpec (see the package
+// README section "Distributed sweeps" for the format):
+//
+//	{
+//	  "primitive": "cseek",
+//	  "seeds": 64,
+//	  "baseSeed": 42,
+//	  "variants": [
+//	    {"name": "quiet-path", "topology": "path", "n": 6,
+//	     "channels": 3, "k": 2, "seed": 1, "preset": "quiet"}
+//	  ]
+//	}
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"crn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crnsweep:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: crnsweep <plan|run|merge|resume|sweep> [flags]
+
+  plan   -spec <file> -shards <k> -dir <dir>      partition a sweep, write <dir>/manifest.json
+  run    -manifest <file> -shard <k> [-workers n] execute one shard, write its artifact
+  merge  -manifest <file> [-out <file>]           merge all shard artifacts into the sweep result
+  resume -manifest <file> [-workers n]            re-run missing/invalid shards, then merge
+  sweep  -spec <file> [-out <file>] [-workers n]  single-process crn.Sweep of the same spec
+`
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand\n%s", usage)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "plan":
+		return cmdPlan(rest, w)
+	case "run":
+		return cmdRun(rest, w)
+	case "merge":
+		return cmdMerge(rest, w)
+	case "resume":
+		return cmdResume(rest, w)
+	case "sweep":
+		return cmdSweep(rest, w)
+	case "help", "-h", "-help", "--help":
+		fmt.Fprint(w, usage)
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", cmd, usage)
+	}
+}
+
+// specFile is the declarative, JSON-serializable mirror of
+// crn.SweepSpec: crn.Primitive and crn.ScenarioOption are code, so the
+// spec names them and buildSweepSpec reconstitutes the real spec. The
+// parsed struct (not the raw file bytes) is the canonical form the
+// plan hash covers — reformatting the file does not invalidate
+// artifacts, changing its meaning does.
+type specFile struct {
+	// Primitive: cseek, naive, uniform, ckseek, cgcast or flood.
+	Primitive string `json:"primitive"`
+	// KHat is ckseek's k̂ threshold (required for ckseek).
+	KHat int `json:"khat,omitempty"`
+	// Source / Message configure the broadcast primitives.
+	Source  int    `json:"source,omitempty"`
+	Message string `json:"message,omitempty"`
+	// Variants are the scenario configurations to sweep over.
+	Variants []specVariant `json:"variants"`
+	// Seeds is the runs-per-variant count.
+	Seeds int `json:"seeds"`
+	// BaseSeed is the sweep's master seed.
+	BaseSeed uint64 `json:"baseSeed"`
+}
+
+// specVariant mirrors one crn.Variant as scenario-option fields, the
+// same vocabulary as cmd/crnsim's flags.
+type specVariant struct {
+	Name     string  `json:"name"`
+	Topology string  `json:"topology"`
+	N        int     `json:"n"`
+	Channels int     `json:"channels"`
+	K        int     `json:"k"`
+	KMax     int     `json:"kmax,omitempty"`
+	Density  float64 `json:"density,omitempty"`
+	Seed     uint64  `json:"seed"`
+	// Preset names a crn preset; Spectrum / Dynamics are "+"-stacked
+	// model specs (crn.ParseSpectrum / crn.ParseDynamics, seeded from
+	// Seed). All three stack onto the topology options, preset first.
+	Preset   string `json:"preset,omitempty"`
+	Spectrum string `json:"spectrum,omitempty"`
+	Dynamics string `json:"dynamics,omitempty"`
+}
+
+// manifest is the plan file crnsweep writes and every other subcommand
+// reads. Artifact paths are relative to the manifest's directory.
+type manifest struct {
+	Version int `json:"version"`
+	// Spec is the sweep description, verbatim in canonical form.
+	Spec *specFile `json:"spec"`
+	// Plan is the deterministic shard partition of Spec.
+	Plan *crn.ShardPlan `json:"plan"`
+	// PlanHash is planHash(Spec, Plan); artifacts embed it, which is
+	// what lets resume decide validity without re-running anything.
+	PlanHash string `json:"planHash"`
+	// Artifacts[k] is shard k's artifact filename.
+	Artifacts []string `json:"artifacts"`
+	// Merged is the merge output filename.
+	Merged string `json:"merged"`
+}
+
+// shardArtifact is one shard's on-disk result.
+type shardArtifact struct {
+	// PlanHash ties the artifact to the manifest that planned it.
+	PlanHash string `json:"planHash"`
+	// Result is the shard's runs.
+	Result *crn.ShardResult `json:"result"`
+}
+
+const manifestVersion = 1
+
+// planHash fingerprints the canonical (spec, plan) pair.
+func planHash(spec *specFile, plan *crn.ShardPlan) (string, error) {
+	doc, err := json.Marshal(struct {
+		Spec *specFile      `json:"spec"`
+		Plan *crn.ShardPlan `json:"plan"`
+	}{spec, plan})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(doc)), nil
+}
+
+// buildSweepSpec reconstitutes the executable crn.SweepSpec a spec
+// file describes.
+func buildSweepSpec(sf *specFile, workers int) (crn.SweepSpec, error) {
+	var zero crn.SweepSpec
+	var prim crn.Primitive
+	switch sf.Primitive {
+	case "cseek", "naive", "uniform":
+		prim = crn.Discovery(crn.Algorithm(sf.Primitive))
+	case "ckseek":
+		if sf.KHat < 1 {
+			return zero, fmt.Errorf("primitive ckseek needs \"khat\" ≥ 1")
+		}
+		prim = crn.KDiscovery(sf.KHat)
+	case "cgcast", "flood":
+		msg := sf.Message
+		if msg == "" {
+			msg = "message"
+		}
+		if sf.Primitive == "cgcast" {
+			prim = crn.GlobalBroadcast(sf.Source, msg)
+		} else {
+			prim = crn.Flooding(sf.Source, msg)
+		}
+	case "":
+		return zero, fmt.Errorf("spec is missing \"primitive\"")
+	default:
+		return zero, fmt.Errorf("unknown primitive %q (have cseek, naive, uniform, ckseek, cgcast, flood)", sf.Primitive)
+	}
+	if len(sf.Variants) == 0 {
+		return zero, fmt.Errorf("spec has no variants")
+	}
+	variants := make([]crn.Variant, len(sf.Variants))
+	for i, v := range sf.Variants {
+		if v.Name == "" {
+			return zero, fmt.Errorf("variant %d has no name", i)
+		}
+		opts := []crn.ScenarioOption{
+			crn.WithTopology(crn.Topology(v.Topology)),
+			crn.WithNodes(v.N),
+			crn.WithChannels(v.Channels, v.K, v.KMax),
+			crn.WithSeed(v.Seed),
+		}
+		if v.Density > 0 {
+			opts = append(opts, crn.WithDensity(v.Density))
+		}
+		if v.Preset != "" {
+			p, err := crn.PresetByName(v.Preset)
+			if err != nil {
+				return zero, fmt.Errorf("variant %q: %w", v.Name, err)
+			}
+			opts = append(opts, p.Options...)
+		}
+		spOpts, err := crn.ParseSpectrum(v.Spectrum, v.Seed)
+		if err != nil {
+			return zero, fmt.Errorf("variant %q: %w", v.Name, err)
+		}
+		opts = append(opts, spOpts...)
+		dynOpts, err := crn.ParseDynamics(v.Dynamics, v.Seed)
+		if err != nil {
+			return zero, fmt.Errorf("variant %q: %w", v.Name, err)
+		}
+		opts = append(opts, dynOpts...)
+		variants[i] = crn.Variant{Name: v.Name, Options: opts}
+	}
+	return crn.SweepSpec{
+		Primitive: prim,
+		Variants:  variants,
+		Seeds:     sf.Seeds,
+		BaseSeed:  sf.BaseSeed,
+		Workers:   workers,
+	}, nil
+}
+
+func loadSpecFile(path string) (*specFile, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sf := new(specFile)
+	if err := unmarshalStrict(doc, sf); err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return sf, nil
+}
+
+// unmarshalStrict rejects unknown fields, so a typo'd spec key fails
+// loudly instead of silently sweeping the default.
+func unmarshalStrict(doc []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func loadManifest(path string) (*manifest, string, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	m := new(manifest)
+	if err := unmarshalStrict(doc, m); err != nil {
+		return nil, "", fmt.Errorf("manifest %s: %w", path, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, "", fmt.Errorf("manifest %s: version %d, this crnsweep speaks %d", path, m.Version, manifestVersion)
+	}
+	if m.Spec == nil || m.Plan == nil {
+		return nil, "", fmt.Errorf("manifest %s: missing spec or plan", path)
+	}
+	// Recompute the hash: a hand-edited manifest must not validate
+	// artifacts recorded under the original.
+	hash, err := planHash(m.Spec, m.Plan)
+	if err != nil {
+		return nil, "", err
+	}
+	if hash != m.PlanHash {
+		return nil, "", fmt.Errorf("manifest %s: planHash %s does not match its spec+plan (%s) — manifest edited?", path, m.PlanHash, hash)
+	}
+	if len(m.Artifacts) != len(m.Plan.Shards) {
+		return nil, "", fmt.Errorf("manifest %s: %d artifact names for %d shards", path, len(m.Artifacts), len(m.Plan.Shards))
+	}
+	return m, filepath.Dir(path), nil
+}
+
+// writeJSON writes v as indented JSON. One writer for every output
+// file keeps the byte-identity contract simple: merge output and
+// single-process sweep output go through the identical encoder.
+func writeJSON(path string, v any) error {
+	doc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(doc, '\n'), 0o644)
+}
+
+func cmdPlan(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweep plan", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		specPath = fs.String("spec", "", "sweep spec file (JSON, required)")
+		shards   = fs.Int("shards", 1, "number of shards")
+		dir      = fs.String("dir", ".", "output directory for the manifest and artifacts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("plan: -spec is required")
+	}
+	sf, err := loadSpecFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := buildSweepSpec(sf, 0)
+	if err != nil {
+		return err
+	}
+	plan, err := crn.PlanShards(spec, *shards)
+	if err != nil {
+		return err
+	}
+	hash, err := planHash(sf, plan)
+	if err != nil {
+		return err
+	}
+	m := &manifest{
+		Version:  manifestVersion,
+		Spec:     sf,
+		Plan:     plan,
+		PlanHash: hash,
+		Merged:   "merged.json",
+	}
+	for k := range plan.Shards {
+		m.Artifacts = append(m.Artifacts, fmt.Sprintf("shard-%d.json", k))
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(*dir, "manifest.json")
+	if err := writeJSON(path, m); err != nil {
+		return err
+	}
+	total := len(plan.Variants) * plan.Seeds
+	fmt.Fprintf(w, "planned %d runs (%d variants × %d seeds) into %d shards: %s\n",
+		total, len(plan.Variants), plan.Seeds, len(plan.Shards), path)
+	return nil
+}
+
+func cmdRun(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweep run", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		manifestPath = fs.String("manifest", "", "manifest file (required)")
+		shard        = fs.Int("shard", -1, "shard index to execute (required)")
+		workers      = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS); does not affect output bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *manifestPath == "" {
+		return fmt.Errorf("run: -manifest is required")
+	}
+	m, dir, err := loadManifest(*manifestPath)
+	if err != nil {
+		return err
+	}
+	if *shard < 0 || *shard >= len(m.Plan.Shards) {
+		return fmt.Errorf("run: -shard %d out of range (plan has %d shards)", *shard, len(m.Plan.Shards))
+	}
+	spec, err := buildSweepSpec(m.Spec, *workers)
+	if err != nil {
+		return err
+	}
+	res, err := crn.RunShard(context.Background(), spec, m.Plan, *shard)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, m.Artifacts[*shard])
+	if err := writeJSON(path, &shardArtifact{PlanHash: m.PlanHash, Result: res}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "shard %d: %d runs → %s\n", *shard, len(res.Runs), path)
+	return nil
+}
+
+// loadArtifact reads and validates shard k's artifact against the
+// manifest: the embedded plan hash, the shard index and the run count
+// must all line up. (MergeShards re-validates each run's identity and
+// derived seed on top.)
+func loadArtifact(m *manifest, dir string, k int) (*crn.ShardResult, error) {
+	path := filepath.Join(dir, m.Artifacts[k])
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := new(shardArtifact)
+	if err := unmarshalStrict(doc, a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.PlanHash != m.PlanHash {
+		return nil, fmt.Errorf("%s: artifact plan hash %s, manifest %s", path, a.PlanHash, m.PlanHash)
+	}
+	if a.Result == nil || a.Result.Shard != k {
+		return nil, fmt.Errorf("%s: artifact is not shard %d", path, k)
+	}
+	r := m.Plan.Shards[k]
+	if len(a.Result.Runs) != r.Hi-r.Lo {
+		return nil, fmt.Errorf("%s: %d runs, shard %d wants %d", path, len(a.Result.Runs), k, r.Hi-r.Lo)
+	}
+	return a.Result, nil
+}
+
+// mergeAndWrite merges shard results and writes the merge output,
+// printing the per-variant aggregates.
+func mergeAndWrite(m *manifest, outPath string, results []*crn.ShardResult, w io.Writer) error {
+	merged, err := crn.MergeShards(m.Plan, results...)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(outPath, merged); err != nil {
+		return err
+	}
+	for _, agg := range merged.Aggregates {
+		fmt.Fprintf(w, "%-24s runs=%d completed=%d failures=%d\n",
+			agg.Variant, agg.Runs, agg.Completed, agg.Failures)
+	}
+	fmt.Fprintf(w, "merged %d shards → %s\n", len(results), outPath)
+	return nil
+}
+
+func cmdMerge(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweep merge", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		manifestPath = fs.String("manifest", "", "manifest file (required)")
+		out          = fs.String("out", "", "merge output file (default: manifest's merged name)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *manifestPath == "" {
+		return fmt.Errorf("merge: -manifest is required")
+	}
+	m, dir, err := loadManifest(*manifestPath)
+	if err != nil {
+		return err
+	}
+	outPath := filepath.Join(dir, m.Merged)
+	if *out != "" {
+		outPath = *out // caller-relative, not manifest-relative
+	}
+	results := make([]*crn.ShardResult, len(m.Plan.Shards))
+	for k := range results {
+		res, err := loadArtifact(m, dir, k)
+		if err != nil {
+			return fmt.Errorf("merge: shard %d artifact invalid (run `crnsweep resume` to regenerate): %w", k, err)
+		}
+		results[k] = res
+	}
+	return mergeAndWrite(m, outPath, results, w)
+}
+
+func cmdResume(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweep resume", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		manifestPath = fs.String("manifest", "", "manifest file (required)")
+		workers      = fs.Int("workers", 0, "worker pool size for re-run shards (0: GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *manifestPath == "" {
+		return fmt.Errorf("resume: -manifest is required")
+	}
+	m, dir, err := loadManifest(*manifestPath)
+	if err != nil {
+		return err
+	}
+	spec, err := buildSweepSpec(m.Spec, *workers)
+	if err != nil {
+		return err
+	}
+	results := make([]*crn.ShardResult, len(m.Plan.Shards))
+	for k := range results {
+		if res, err := loadArtifact(m, dir, k); err == nil {
+			fmt.Fprintf(w, "shard %d: artifact valid, skipped\n", k)
+			results[k] = res
+			continue
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(w, "shard %d: invalid artifact (%v), re-running\n", k, err)
+		} else {
+			fmt.Fprintf(w, "shard %d: no artifact, running\n", k)
+		}
+		res, err := crn.RunShard(context.Background(), spec, m.Plan, k)
+		if err != nil {
+			return fmt.Errorf("resume: shard %d: %w", k, err)
+		}
+		if err := writeJSON(filepath.Join(dir, m.Artifacts[k]), &shardArtifact{PlanHash: m.PlanHash, Result: res}); err != nil {
+			return err
+		}
+		results[k] = res
+	}
+	return mergeAndWrite(m, filepath.Join(dir, m.Merged), results, w)
+}
+
+func cmdSweep(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweep sweep", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		specPath = fs.String("spec", "", "sweep spec file (JSON, required)")
+		out      = fs.String("out", "", "output file (default: print to stdout)")
+		workers  = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS); does not affect output bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("sweep: -spec is required")
+	}
+	sf, err := loadSpecFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := buildSweepSpec(sf, *workers)
+	if err != nil {
+		return err
+	}
+	res, err := crn.Sweep(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		doc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", doc)
+		return err
+	}
+	if err := writeJSON(*out, res); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "swept %d runs → %s\n", len(res.Runs), *out)
+	return nil
+}

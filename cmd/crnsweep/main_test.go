@@ -1,0 +1,280 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crn"
+)
+
+// go test ./cmd/crnsweep -run TestGolden -update rewrites the golden
+// manifest and merged-aggregate files from the current simulator.
+var updateGolden = flag.Bool("update", false, "rewrite golden sharded-sweep files")
+
+func TestCLIValidation(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"teleport"},
+		{"plan"},   // missing -spec
+		{"run"},    // missing -manifest
+		{"merge"},  // missing -manifest
+		{"resume"}, // missing -manifest
+		{"sweep"},  // missing -spec
+		{"plan", "-spec", "/nonexistent.json", "-dir", t.TempDir()},
+		{"run", "-manifest", "/nonexistent.json", "-shard", "0"},
+	}
+	for _, args := range bad {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+	if err := run([]string{"help"}, io.Discard); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown field", `{"primitive": "cseek", "seeds": 1, "baseSeed": 1, "variance": 2, "variants": [{"name": "v", "topology": "path", "n": 6, "channels": 3, "k": 2, "seed": 1}]}`},
+		{"unknown primitive", `{"primitive": "quantum", "seeds": 1, "baseSeed": 1, "variants": [{"name": "v", "topology": "path", "n": 6, "channels": 3, "k": 2, "seed": 1}]}`},
+		{"missing primitive", `{"seeds": 1, "baseSeed": 1, "variants": [{"name": "v", "topology": "path", "n": 6, "channels": 3, "k": 2, "seed": 1}]}`},
+		{"ckseek without khat", `{"primitive": "ckseek", "seeds": 1, "baseSeed": 1, "variants": [{"name": "v", "topology": "path", "n": 6, "channels": 3, "k": 2, "seed": 1}]}`},
+		{"no variants", `{"primitive": "cseek", "seeds": 1, "baseSeed": 1}`},
+		{"unnamed variant", `{"primitive": "cseek", "seeds": 1, "baseSeed": 1, "variants": [{"topology": "path", "n": 6, "channels": 3, "k": 2, "seed": 1}]}`},
+		{"unknown preset", `{"primitive": "cseek", "seeds": 1, "baseSeed": 1, "variants": [{"name": "v", "topology": "path", "n": 6, "channels": 3, "k": 2, "seed": 1, "preset": "lunar"}]}`},
+		{"bad spectrum", `{"primitive": "cseek", "seeds": 1, "baseSeed": 1, "variants": [{"name": "v", "topology": "path", "n": 6, "channels": 3, "k": 2, "seed": 1, "spectrum": "plasma:1"}]}`},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(t.TempDir(), "spec.json")
+		if err := os.WriteFile(path, []byte(tc.doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"plan", "-spec", path, "-dir", t.TempDir()}, io.Discard); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// checkGolden compares got against the committed golden file,
+// rewriting it under -update.
+func checkGolden(t *testing.T, goldenPath string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/crnsweep -run TestGolden -update` to record)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s diverged from golden (run with -update to re-record if the change is intended)", goldenPath)
+	}
+}
+
+// TestGoldenShardedSweep drives the full pipeline on the committed
+// spec — plan → run shards 0..3 → merge — and pins both the manifest
+// and the merged aggregates as golden files. It then proves the
+// acceptance criterion in-process: the merged bytes equal a direct
+// crn.Sweep of the same spec, and a 1-shard plan produces the same
+// bytes again.
+func TestGoldenShardedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	specPath := filepath.Join("testdata", "spec.json")
+	dir := t.TempDir()
+
+	if err := run([]string{"plan", "-spec", specPath, "-shards", "4", "-dir", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(dir, "manifest.json")
+	manifestDoc, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden", "manifest.json"), manifestDoc)
+
+	for k := 0; k < 4; k++ {
+		if err := run([]string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
+			t.Fatalf("shard %d: %v", k, err)
+		}
+	}
+	if err := run([]string{"merge", "-manifest", manifestPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := os.ReadFile(filepath.Join(dir, "merged.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden", "merged.json"), merged)
+
+	// Byte-identity against the in-process engine: same spec, direct
+	// crn.Sweep, same encoder.
+	sf, err := loadSpecFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := buildSweepSpec(sf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crn.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct = append(direct, '\n')
+	if string(direct) != string(merged) {
+		t.Error("merged shard output diverged from single-process crn.Sweep")
+	}
+
+	// A 1-shard plan is the degenerate case and must agree too.
+	oneDir := t.TempDir()
+	for _, args := range [][]string{
+		{"plan", "-spec", specPath, "-shards", "1", "-dir", oneDir},
+		{"run", "-manifest", filepath.Join(oneDir, "manifest.json"), "-shard", "0"},
+		{"merge", "-manifest", filepath.Join(oneDir, "manifest.json")},
+	} {
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	oneMerged, err := os.ReadFile(filepath.Join(oneDir, "merged.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(oneMerged) != string(merged) {
+		t.Error("1-shard merge diverged from 4-shard merge")
+	}
+}
+
+// TestResumeReRunsOnlyInvalidShards: after deleting one artifact and
+// corrupting another, resume re-runs exactly those two, keeps the
+// valid ones, and reproduces the golden merged output.
+func TestResumeReRunsOnlyInvalidShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	specPath := filepath.Join("testdata", "spec.json")
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "manifest.json")
+	if err := run([]string{"plan", "-spec", specPath, "-shards", "4", "-dir", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if err := run([]string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := os.Remove(filepath.Join(dir, "shard-2.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "shard-1.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"resume", "-manifest", manifestPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	log := out.String()
+	for _, want := range []string{
+		"shard 0: artifact valid, skipped",
+		"shard 3: artifact valid, skipped",
+		"shard 2: no artifact, running",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("resume output missing %q:\n%s", want, log)
+		}
+	}
+	if !strings.Contains(log, "shard 1: invalid artifact") {
+		t.Errorf("resume did not flag the corrupted shard 1:\n%s", log)
+	}
+
+	merged, err := os.ReadFile(filepath.Join(dir, "merged.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden", "merged.json"), merged)
+
+	// A second resume is a no-op: everything validates.
+	out.Reset()
+	if err := run([]string{"resume", "-manifest", manifestPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if want := fmt.Sprintf("shard %d: artifact valid, skipped", k); !strings.Contains(out.String(), want) {
+			t.Errorf("second resume re-ran shard %d:\n%s", k, out.String())
+		}
+	}
+}
+
+// TestMergeRejectsForeignArtifact: an artifact recorded under a
+// different plan (different base seed → different hash) is rejected by
+// merge rather than silently combined.
+func TestMergeRejectsForeignArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	specPath := filepath.Join("testdata", "spec.json")
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "manifest.json")
+	if err := run([]string{"plan", "-spec", specPath, "-shards", "2", "-dir", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if err := run([]string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Same shard count, different base seed: shapes line up, hashes
+	// must not.
+	doc, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := strings.Replace(string(doc), `"baseSeed": 42`, `"baseSeed": 43`, 1)
+	foreignSpec := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(foreignSpec, []byte(foreign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreignDir := t.TempDir()
+	if err := run([]string{"plan", "-spec", foreignSpec, "-shards", "2", "-dir", foreignDir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-manifest", filepath.Join(foreignDir, "manifest.json"), "-shard", "1"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := os.ReadFile(filepath.Join(foreignDir, "shard-1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "shard-1.json"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"merge", "-manifest", manifestPath}, io.Discard); err == nil {
+		t.Error("merge accepted an artifact from a different base seed")
+	}
+}

@@ -26,7 +26,10 @@
 //   - Sweeps. Sweep fans one Primitive out over seeds × scenario
 //     variants on a bounded worker pool, with deterministic per-run
 //     seed derivation: the aggregates are byte-identical regardless of
-//     worker count.
+//     worker count. PlanShards / RunShard / MergeShards distribute the
+//     same job grid across processes or hosts — merged shard results
+//     are byte-identical to the single-process sweep (cmd/crnsweep
+//     drives this over a resumable JSON manifest).
 //
 // See DESIGN.md for the architecture and README.md for a quickstart
 // plus the table mapping deprecated entry points (Scenario.Discover,

@@ -1,0 +1,60 @@
+package stats
+
+import "sort"
+
+// Accumulator collects one metric's samples incrementally and across
+// process boundaries: Add samples as runs finish, Merge accumulators
+// built on different shards, and Summary() the union. It is the
+// mergeable form of Summarize, built for the distributed sweep:
+// shard workers aggregate locally, a merge step combines them, and
+// the combined Summary must be byte-identical to summarizing the
+// whole population in one process.
+//
+// The exactness argument: a plain streaming-moment merge (summing
+// per-shard Σx and Σx² ) cannot give that guarantee — float addition
+// is not associative, so the merged mean would differ from the
+// single-process mean in the last bits, and the quantiles need the
+// samples anyway. The accumulator therefore keeps the samples and
+// defers all arithmetic to Summary(), which sorts and then computes
+// the moments in sorted order (summarizeSorted, shared with
+// Summarize). The result is a pure function of the sample multiset,
+// and Add/Merge only build multiset unions, so
+//
+//	Merge(A, B).Summary() == Summarize(A ∪ B)
+//
+// bit-for-bit, for any partition, merge order or association.
+//
+// The zero Accumulator is ready to use. It is not safe for concurrent
+// use.
+type Accumulator struct {
+	samples []float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) { a.samples = append(a.samples, x) }
+
+// AddAll records a batch of samples.
+func (a *Accumulator) AddAll(xs []float64) { a.samples = append(a.samples, xs...) }
+
+// Merge absorbs b's samples into a. b is unchanged.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b != nil {
+		a.samples = append(a.samples, b.samples...)
+	}
+}
+
+// N returns the number of samples recorded so far.
+func (a *Accumulator) N() int { return len(a.samples) }
+
+// Summary computes the Summary of everything recorded so far. It
+// returns a zero Summary when no samples were added. The accumulator
+// remains usable afterwards.
+func (a *Accumulator) Summary() Summary {
+	if len(a.samples) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(a.samples))
+	copy(s, a.samples)
+	sort.Float64s(s)
+	return summarizeSorted(s)
+}

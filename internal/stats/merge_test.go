@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"crn/internal/rng"
+)
+
+// randomSample draws n samples shaped like sweep metrics: mostly small
+// non-negative counts, some zeros (indicator metrics), occasional
+// large values.
+func randomSample(r *rng.Source, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch r.Intn(4) {
+		case 0:
+			xs[i] = 0
+		case 1:
+			xs[i] = float64(r.Intn(2))
+		case 2:
+			xs[i] = float64(r.Intn(1000))
+		default:
+			xs[i] = r.Float64() * 1e6
+		}
+	}
+	return xs
+}
+
+// accumulate builds one accumulator per part of a partition.
+func accumulate(parts [][]float64) []*Accumulator {
+	accs := make([]*Accumulator, len(parts))
+	for i, part := range parts {
+		accs[i] = &Accumulator{}
+		accs[i].AddAll(part)
+	}
+	return accs
+}
+
+// TestAccumulatorMergeEqualsUnion is the distributed sweep's core
+// stats invariant: for random samples and random partitions, merging
+// the per-part accumulators yields exactly — bit for bit, not within
+// epsilon — the Summary of the whole population.
+func TestAccumulatorMergeEqualsUnion(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		xs := randomSample(r, 1+r.Intn(64))
+		want := Summarize(xs)
+
+		// Random partition: each sample goes to a random part.
+		k := 1 + r.Intn(6)
+		parts := make([][]float64, k)
+		for _, x := range xs {
+			p := r.Intn(k)
+			parts[p] = append(parts[p], x)
+		}
+
+		merged := &Accumulator{}
+		for _, acc := range accumulate(parts) {
+			merged.Merge(acc)
+		}
+		if got := merged.Summary(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged %+v != whole-population %+v", trial, got, want)
+		}
+	}
+}
+
+// TestAccumulatorMergeAssociativeAndOrderIndependent: any association
+// and any order of merges produces the same Summary.
+func TestAccumulatorMergeAssociativeAndOrderIndependent(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 100; trial++ {
+		a := randomSample(r, r.Intn(20))
+		b := randomSample(r, r.Intn(20))
+		c := randomSample(r, 1+r.Intn(20))
+
+		// (a ⊕ b) ⊕ c
+		left := &Accumulator{}
+		left.AddAll(a)
+		ab := &Accumulator{}
+		ab.AddAll(b)
+		left.Merge(ab)
+		lc := &Accumulator{}
+		lc.AddAll(c)
+		left.Merge(lc)
+
+		// a ⊕ (b ⊕ c)
+		bc := &Accumulator{}
+		bc.AddAll(b)
+		cAcc := &Accumulator{}
+		cAcc.AddAll(c)
+		bc.Merge(cAcc)
+		right := &Accumulator{}
+		right.AddAll(a)
+		right.Merge(bc)
+
+		// c ⊕ b ⊕ a (reversed order)
+		rev := &Accumulator{}
+		rev.AddAll(c)
+		rb := &Accumulator{}
+		rb.AddAll(b)
+		rev.Merge(rb)
+		ra := &Accumulator{}
+		ra.AddAll(a)
+		rev.Merge(ra)
+
+		ls, rs, vs := left.Summary(), right.Summary(), rev.Summary()
+		if !reflect.DeepEqual(ls, rs) {
+			t.Fatalf("trial %d: association changed the summary: %+v vs %+v", trial, ls, rs)
+		}
+		if !reflect.DeepEqual(ls, vs) {
+			t.Fatalf("trial %d: merge order changed the summary: %+v vs %+v", trial, ls, vs)
+		}
+	}
+}
+
+func TestAccumulatorBasics(t *testing.T) {
+	var zero Accumulator
+	if got := zero.Summary(); !reflect.DeepEqual(got, Summary{}) {
+		t.Errorf("empty accumulator summary = %+v, want zero", got)
+	}
+	if zero.N() != 0 {
+		t.Errorf("empty accumulator N = %d", zero.N())
+	}
+	zero.Merge(nil) // must not panic
+
+	a := &Accumulator{}
+	a.Add(3)
+	a.Add(1)
+	a.AddAll([]float64{2})
+	if a.N() != 3 {
+		t.Fatalf("N = %d, want 3", a.N())
+	}
+	want := Summarize([]float64{1, 2, 3})
+	if got := a.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("summary %+v, want %+v", got, want)
+	}
+	// Summary must not disturb the accumulator (it keeps insertion
+	// order internally and stays usable).
+	a.Add(4)
+	want4 := Summarize([]float64{1, 2, 3, 4})
+	if got := a.Summary(); !reflect.DeepEqual(got, want4) {
+		t.Errorf("summary after further Add %+v, want %+v", got, want4)
+	}
+}

@@ -32,7 +32,18 @@ func Summarize(xs []float64) Summary {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
+	return summarizeSorted(s)
+}
 
+// summarizeSorted computes the Summary of an ascending-sorted,
+// non-empty sample. Every Summary construction — Summarize and
+// Accumulator.Summary — funnels through here, with the moment sums
+// taken in sorted order. Sorting first makes the result a pure
+// function of the sample *multiset*: any two accumulation orders, or
+// any partition of the sample across shards, yield bit-identical
+// Summaries. That is the invariant the distributed sweep's
+// merge-equals-union guarantee rests on.
+func summarizeSorted(s []float64) Summary {
 	var sum, sumSq float64
 	for _, x := range s {
 		sum += x

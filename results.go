@@ -1,5 +1,7 @@
 package crn
 
+import "crn/internal/stats"
+
 // Result is the common envelope every Primitive returns: the schedule
 // budget, when (and whether) the primitive's goal predicate was
 // reached, and one per-primitive detail block. Consumers that only
@@ -179,4 +181,61 @@ func b2f(v bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// The sweep result envelope lives alongside Result for the same
+// reason Result exists: every consumer of sweep output — the in-
+// process engine, the sharded cmd/crnsweep pipeline, CI byte-diffs —
+// sees one JSON shape, whichever execution path produced it.
+
+// Summary is the per-metric aggregate the sweep engine reports:
+// mean, standard deviation, median and quartiles of one metric across
+// the runs of one variant.
+type Summary = stats.Summary
+
+// Run is one completed (or failed) simulation inside a sweep.
+type Run struct {
+	// Variant is the variant's resolved name.
+	Variant string `json:"variant"`
+	// Index is the seed index within the variant, in [0, Seeds).
+	Index int `json:"index"`
+	// Seed is the derived per-run seed.
+	Seed uint64 `json:"seed"`
+	// Completed reports whether the run's goal predicate held.
+	Completed bool `json:"completed"`
+	// Metrics are the run's numeric measurements (Result.Metrics);
+	// nil when the run failed.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Result is the full envelope, retained only when
+	// SweepSpec.KeepResults is set (and the run succeeded).
+	Result *Result `json:"result,omitempty"`
+	// Err is the run's error message, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Aggregate summarizes one variant's runs.
+type Aggregate struct {
+	// Variant is the variant's resolved name.
+	Variant string `json:"variant"`
+	// Primitive is the primitive that ran.
+	Primitive string `json:"primitive"`
+	// Runs / Failures / Completed count the variant's runs, the runs
+	// that errored, and the runs whose goal predicate held.
+	Runs      int `json:"runs"`
+	Failures  int `json:"failures"`
+	Completed int `json:"completed"`
+	// Metrics maps each Result metric (see Result.Metrics) to its
+	// summary across the variant's successful runs.
+	Metrics map[string]Summary `json:"metrics"`
+}
+
+// SweepResult is the outcome of one sweep — whether it ran in one
+// process (Sweep) or was stitched back together from shard artifacts
+// (MergeShards). The two paths produce byte-identical JSON for the
+// same spec.
+type SweepResult struct {
+	// Aggregates holds one entry per variant, in variant order.
+	Aggregates []Aggregate `json:"aggregates"`
+	// Runs holds every run in deterministic (variant, index) order.
+	Runs []Run `json:"runs"`
 }

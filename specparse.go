@@ -1,0 +1,132 @@
+package crn
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseSpectrum turns a "+"-stacked spectrum-model spec — the format
+// cmd/crnsim's -spectrum flag and cmd/crnsweep variant specs share —
+// into scenario options:
+//
+//	periodic:<period>,<onSlots> | markov:<pBusy>,<pFree> |
+//	poisson:<rate>,<meanHold> | adversary:<t>
+//
+// Stochastic models derive their occupancy seed from seed, so one
+// integer reproduces the whole simulation including the primary
+// traffic. Stacked models are decorrelated: each position gets its own
+// derived seed, or same-seeded markov+poisson would draw
+// byte-identical per-channel random sequences. An empty or "none" spec
+// yields no options.
+func ParseSpectrum(spec string, seed uint64) ([]ScenarioOption, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var opts []ScenarioOption
+	for i, part := range strings.Split(spec, "+") {
+		model, argstr, _ := strings.Cut(strings.TrimSpace(part), ":")
+		modelSeed := seed + uint64(i)*0x9E3779B97F4A7C15
+		var args []float64
+		if argstr != "" && model != "adversary" {
+			for _, a := range strings.Split(argstr, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+				if err != nil {
+					return nil, fmt.Errorf("spectrum spec %q: bad number %q", part, a)
+				}
+				args = append(args, v)
+			}
+		}
+		switch model {
+		case "periodic":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("spectrum spec %q: want periodic:<period>,<onSlots>", part)
+			}
+			if args[0] != math.Trunc(args[0]) || args[1] != math.Trunc(args[1]) {
+				return nil, fmt.Errorf("spectrum spec %q: periodic slot counts must be integers", part)
+			}
+			opts = append(opts, WithPeriodicPrimaryUsers(int64(args[0]), int64(args[1])))
+		case "markov":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("spectrum spec %q: want markov:<pBusy>,<pFree>", part)
+			}
+			opts = append(opts, WithMarkovPrimaryUsers(args[0], args[1], 0, modelSeed))
+		case "poisson":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("spectrum spec %q: want poisson:<rate>,<meanHold>", part)
+			}
+			opts = append(opts, WithPoissonPrimaryUsers(args[0], args[1], 0, modelSeed))
+		case "adversary":
+			t := 0
+			if argstr != "" {
+				v, err := strconv.Atoi(strings.TrimSpace(argstr))
+				if err != nil {
+					return nil, fmt.Errorf("spectrum spec %q: want adversary:<t> with integer t", part)
+				}
+				t = v
+			}
+			opts = append(opts, WithAdversary(t))
+		default:
+			return nil, fmt.Errorf("spectrum spec %q: unknown model (have periodic, markov, poisson, adversary)", part)
+		}
+	}
+	return opts, nil
+}
+
+// ParseDynamics turns a "+"-stacked topology-dynamics spec into
+// scenario options:
+//
+//	churn:<pDown>,<pUp> | flap:<pDrop>,<pRestore> |
+//	waypoint:<speed>,<every> (waypoint needs a unit-disk topology)
+//
+// Models derive their trajectory seed from seed, so one integer
+// reproduces the whole simulation including the topology churn. The
+// derived seeds are decorrelated from ParseSpectrum's by a domain
+// constant — dynamics model i never shares a seed with spectrum model
+// i (same-seeded models draw byte-identical per-channel/per-node rng
+// streams, correlating primary-user occupancy with churn). An empty or
+// "none" spec yields no options.
+func ParseDynamics(spec string, seed uint64) ([]ScenarioOption, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var opts []ScenarioOption
+	for i, part := range strings.Split(spec, "+") {
+		model, argstr, _ := strings.Cut(strings.TrimSpace(part), ":")
+		modelSeed := (seed + uint64(i)*0x9E3779B97F4A7C15) ^ 0xD15EA5ED
+		var args []float64
+		if argstr != "" {
+			for _, a := range strings.Split(argstr, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+				if err != nil {
+					return nil, fmt.Errorf("dynamics spec %q: bad number %q", part, a)
+				}
+				args = append(args, v)
+			}
+		}
+		switch model {
+		case "churn":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("dynamics spec %q: want churn:<pDown>,<pUp>", part)
+			}
+			opts = append(opts, WithChurn(args[0], args[1], modelSeed))
+		case "flap":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("dynamics spec %q: want flap:<pDrop>,<pRestore>", part)
+			}
+			opts = append(opts, WithEdgeFlap(args[0], args[1], modelSeed))
+		case "waypoint":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("dynamics spec %q: want waypoint:<speed>,<every>", part)
+			}
+			if args[1] != math.Trunc(args[1]) || args[1] < 1 {
+				return nil, fmt.Errorf("dynamics spec %q: epoch stride must be a positive integer", part)
+			}
+			opts = append(opts, WithMobility(args[0], int64(args[1]), modelSeed))
+		default:
+			return nil, fmt.Errorf("dynamics spec %q: unknown model (have churn, flap, waypoint)", part)
+		}
+	}
+	return opts, nil
+}

@@ -5,16 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"crn/internal/rng"
 	"crn/internal/stats"
 )
-
-// Summary is the per-metric aggregate the sweep engine reports:
-// mean, standard deviation, median and quartiles of one metric across
-// the runs of one variant.
-type Summary = stats.Summary
 
 // Variant names one scenario configuration inside a sweep. Exactly one
 // of Scenario (a prebuilt scenario, shared read-only by the workers)
@@ -39,7 +33,8 @@ type SweepSpec struct {
 	Variants []Variant
 	// Seeds is the number of runs per variant (default 1). Per-run
 	// seeds are derived deterministically from BaseSeed via rng.Split,
-	// so run (variant, i) sees the same seed regardless of Workers.
+	// so run (variant, i) sees the same seed regardless of Workers —
+	// or of which shard of a ShardPlan executes it.
 	Seeds int
 	// BaseSeed is the master seed of the sweep.
 	BaseSeed uint64
@@ -53,170 +48,153 @@ type SweepSpec struct {
 	KeepResults bool
 }
 
-// Run is one completed (or failed) simulation inside a sweep.
-type Run struct {
-	// Variant is the variant's resolved name.
-	Variant string `json:"variant"`
-	// Index is the seed index within the variant, in [0, Seeds).
-	Index int `json:"index"`
-	// Seed is the derived per-run seed.
-	Seed uint64 `json:"seed"`
-	// Completed reports whether the run's goal predicate held.
-	Completed bool `json:"completed"`
-	// Metrics are the run's numeric measurements (Result.Metrics);
-	// nil when the run failed.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-	// Result is the full envelope, retained only when
-	// SweepSpec.KeepResults is set (and the run succeeded).
-	Result *Result `json:"result,omitempty"`
-	// Err is the run's error message, empty on success.
-	Err string `json:"err,omitempty"`
+// resolvedSweep is a validated SweepSpec: variant names and scenarios
+// resolved, the seed count defaulted, and the master rng fixed. It is
+// the common ground under Sweep, PlanShards and RunShard — all three
+// must agree on the job grid (job = variant*seeds + index) and the
+// per-run seed derivation, or sharded execution would diverge from
+// in-process execution.
+type resolvedSweep struct {
+	spec      SweepSpec
+	seeds     int
+	total     int
+	names     []string
+	scenarios []*Scenario
+	master    *rng.Source
 }
 
-// Aggregate summarizes one variant's runs.
-type Aggregate struct {
-	// Variant is the variant's resolved name.
-	Variant string `json:"variant"`
-	// Primitive is the primitive that ran.
-	Primitive string `json:"primitive"`
-	// Runs / Failures / Completed count the variant's runs, the runs
-	// that errored, and the runs whose goal predicate held.
-	Runs      int `json:"runs"`
-	Failures  int `json:"failures"`
-	Completed int `json:"completed"`
-	// Metrics maps each Result metric (see Result.Metrics) to its
-	// summary across the variant's successful runs.
-	Metrics map[string]Summary `json:"metrics"`
-}
-
-// SweepResult is the outcome of one sweep.
-type SweepResult struct {
-	// Aggregates holds one entry per variant, in variant order.
-	Aggregates []Aggregate `json:"aggregates"`
-	// Runs holds every run in deterministic (variant, index) order.
-	Runs []Run `json:"runs"`
-}
-
-// Sweep fans spec.Primitive out over spec.Seeds × spec.Variants on a
-// worker pool of spec.Workers goroutines. Scenarios are built once per
-// variant and shared read-only; per-run seeds are derived from
-// BaseSeed with rng.Split keyed by (variant, index), so results — and
-// therefore the aggregates — are byte-identical for any worker count.
-//
-// Cancellation: ctx is threaded into every primitive run (the engines
-// poll it every 16 simulated slots); when ctx is cancelled, Sweep
-// abandons unfinished work and returns ctx.Err().
-//
-// Individual run errors do not abort the sweep: they are recorded on
-// the Run and counted in the variant's Failures.
-func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+func resolveSweep(spec SweepSpec) (*resolvedSweep, error) {
 	if spec.Primitive == nil {
 		return nil, fmt.Errorf("crn: sweep needs a primitive")
 	}
 	if len(spec.Variants) == 0 {
 		return nil, fmt.Errorf("crn: sweep needs at least one variant")
 	}
-	seeds := spec.Seeds
-	if seeds <= 0 {
-		seeds = 1
+	rs := &resolvedSweep{
+		spec:      spec,
+		seeds:     spec.Seeds,
+		names:     make([]string, len(spec.Variants)),
+		scenarios: make([]*Scenario, len(spec.Variants)),
+		master:    rng.New(spec.BaseSeed),
 	}
-	if ctx == nil {
-		ctx = context.Background()
+	if rs.seeds <= 0 {
+		rs.seeds = 1
 	}
+	rs.total = len(spec.Variants) * rs.seeds
 
 	// Resolve scenarios up front so configuration errors surface before
 	// any worker starts.
-	scenarios := make([]*Scenario, len(spec.Variants))
-	names := make([]string, len(spec.Variants))
 	for v, variant := range spec.Variants {
-		names[v] = variant.Name
-		if names[v] == "" {
-			names[v] = fmt.Sprintf("variant-%d", v)
+		rs.names[v] = variant.Name
+		if rs.names[v] == "" {
+			rs.names[v] = fmt.Sprintf("variant-%d", v)
 		}
 		switch {
 		case variant.Scenario != nil && variant.Options != nil:
-			return nil, fmt.Errorf("crn: variant %q sets both Scenario and Options", names[v])
+			return nil, fmt.Errorf("crn: variant %q sets both Scenario and Options", rs.names[v])
 		case variant.Scenario != nil:
-			scenarios[v] = variant.Scenario
+			rs.scenarios[v] = variant.Scenario
 		case variant.Options != nil:
 			s, err := New(variant.Options...)
 			if err != nil {
-				return nil, fmt.Errorf("crn: variant %q: %w", names[v], err)
+				return nil, fmt.Errorf("crn: variant %q: %w", rs.names[v], err)
 			}
-			scenarios[v] = s
+			rs.scenarios[v] = s
 		default:
-			return nil, fmt.Errorf("crn: variant %q has neither Scenario nor Options", names[v])
+			return nil, fmt.Errorf("crn: variant %q has neither Scenario nor Options", rs.names[v])
 		}
 	}
+	return rs, nil
+}
 
-	// Deterministic per-run seeds, independent of scheduling: Split
-	// reads (not advances) the master state, keyed by (variant, index).
-	master := rng.New(spec.BaseSeed)
-	total := len(spec.Variants) * seeds
-	runs := make([]Run, total)
-	for v := range spec.Variants {
-		for i := 0; i < seeds; i++ {
-			job := v*seeds + i
-			runs[job] = Run{
-				Variant: names[v],
-				Index:   i,
-				Seed:    master.Split(uint64(v)<<32 | uint64(i)).Uint64(),
-			}
-		}
+// deriveSeed is the one per-run seed derivation: Split reads (does
+// not advance) the master state, keyed by (variant, index), so the
+// seed depends only on BaseSeed and the job's grid position — never
+// on scheduling, worker count or shard boundaries. MergeShards
+// re-derives seeds through this same helper to validate artifacts;
+// any change here is a breaking change to recorded shard artifacts.
+func deriveSeed(master *rng.Source, v, i int) uint64 {
+	return master.Split(uint64(v)<<32 | uint64(i)).Uint64()
+}
+
+// runFor returns the blank Run for one job: identity and derived seed
+// set, outcome not yet filled in.
+func (rs *resolvedSweep) runFor(job int) Run {
+	v, i := job/rs.seeds, job%rs.seeds
+	return Run{
+		Variant: rs.names[v],
+		Index:   i,
+		Seed:    deriveSeed(rs.master, v, i),
 	}
+}
 
-	workers := spec.Workers
+// executeJobs runs the contiguous job range [lo, hi) on a worker
+// pool, filling runs[k] with the outcome of job lo+k (runs must come
+// from runFor). Individual run errors are recorded on the Run; only
+// cancellation aborts the pool.
+func (rs *resolvedSweep) executeJobs(ctx context.Context, lo, hi int, runs []Run) error {
+	if hi <= lo {
+		return ctx.Err()
+	}
+	workers := rs.spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > total {
-		workers = total
+	if workers > hi-lo {
+		workers = hi - lo
 	}
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
+	feed := make(chan int)
+	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
-			for job := range jobs {
-				v := job / seeds
-				res, err := spec.Primitive.Run(ctx, scenarios[v], runs[job].Seed)
+			defer func() { done <- struct{}{} }()
+			for k := range feed {
+				v := (lo + k) / rs.seeds
+				run := &runs[k]
+				res, err := rs.spec.Primitive.Run(ctx, rs.scenarios[v], run.Seed)
 				if err != nil {
-					runs[job].Err = err.Error()
+					run.Err = err.Error()
 					continue
 				}
-				runs[job].Completed = res.Completed
-				runs[job].Metrics = res.Metrics()
-				if spec.KeepResults {
-					runs[job].Result = res
+				run.Completed = res.Completed
+				run.Metrics = res.Metrics()
+				if rs.spec.KeepResults {
+					run.Result = res
 				}
 			}
 		}()
 	}
-feed:
-	for job := 0; job < total; job++ {
+loop:
+	for k := 0; k < hi-lo; k++ {
 		select {
-		case jobs <- job:
+		case feed <- k:
 		case <-ctx.Done():
-			break feed
+			break loop
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	close(feed)
+	for w := 0; w < workers; w++ {
+		<-done
 	}
+	return ctx.Err()
+}
 
-	// Aggregate sequentially in variant order — the deterministic part.
-	aggs := make([]Aggregate, len(spec.Variants))
-	for v := range spec.Variants {
+// aggregateRuns is the single aggregation path shared by in-process
+// sweeps (Sweep) and shard merges (MergeShards): runs must be the
+// complete job grid in (variant, index) order. Each metric funnels
+// through a stats.Accumulator, whose Summary is a pure function of the
+// sample multiset — which is why merged shards reproduce the
+// single-process aggregates byte for byte.
+func aggregateRuns(primitive string, names []string, seeds int, runs []Run) []Aggregate {
+	aggs := make([]Aggregate, len(names))
+	for v := range names {
 		agg := Aggregate{
 			Variant:   names[v],
-			Primitive: spec.Primitive.Name(),
+			Primitive: primitive,
 			Metrics:   make(map[string]Summary),
 		}
-		samples := make(map[string][]float64)
+		accs := make(map[string]*stats.Accumulator)
 		for i := 0; i < seeds; i++ {
 			run := runs[v*seeds+i]
 			agg.Runs++
@@ -228,18 +206,58 @@ feed:
 				agg.Completed++
 			}
 			for name, value := range run.Metrics {
-				samples[name] = append(samples[name], value)
+				acc := accs[name]
+				if acc == nil {
+					acc = &stats.Accumulator{}
+					accs[name] = acc
+				}
+				acc.Add(value)
 			}
 		}
-		keys := make([]string, 0, len(samples))
-		for name := range samples {
+		keys := make([]string, 0, len(accs))
+		for name := range accs {
 			keys = append(keys, name)
 		}
 		sort.Strings(keys)
 		for _, name := range keys {
-			agg.Metrics[name] = stats.Summarize(samples[name])
+			agg.Metrics[name] = accs[name].Summary()
 		}
 		aggs[v] = agg
 	}
-	return &SweepResult{Aggregates: aggs, Runs: runs}, nil
+	return aggs
+}
+
+// Sweep fans spec.Primitive out over spec.Seeds × spec.Variants on a
+// worker pool of spec.Workers goroutines. Scenarios are built once per
+// variant and shared read-only; per-run seeds are derived from
+// BaseSeed with rng.Split keyed by (variant, index), so results — and
+// therefore the aggregates — are byte-identical for any worker count.
+// (They are also byte-identical to running the same spec through a
+// ShardPlan of any width and merging: see PlanShards / MergeShards.)
+//
+// Cancellation: ctx is threaded into every primitive run (the engines
+// poll it every 16 simulated slots); when ctx is cancelled, Sweep
+// abandons unfinished work and returns ctx.Err().
+//
+// Individual run errors do not abort the sweep: they are recorded on
+// the Run and counted in the variant's Failures.
+func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	rs, err := resolveSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runs := make([]Run, rs.total)
+	for job := range runs {
+		runs[job] = rs.runFor(job)
+	}
+	if err := rs.executeJobs(ctx, 0, rs.total, runs); err != nil {
+		return nil, err
+	}
+	return &SweepResult{
+		Aggregates: aggregateRuns(spec.Primitive.Name(), rs.names, rs.seeds, runs),
+		Runs:       runs,
+	}, nil
 }
