@@ -15,10 +15,22 @@
 //	crnsweep resume -manifest out/manifest.json          # re-run invalid/missing shards, then merge
 //	crnsweep sweep  -spec spec.json -out single.json     # single-process reference (crn.Sweep)
 //
+// With -remote, sweep hands the same spec to a running crnsweepd
+// orchestrator instead of executing locally — the result bytes are
+// identical either way (that is the service's contract):
+//
+//	crnsweep sweep -spec spec.json -remote http://host:8471 -shards 4 -out single.json
+//
 // The manifest records the spec, the shard plan and a hash over both;
 // every shard artifact embeds that hash, so merge and resume refuse
 // artifacts produced under a different spec, plan or base seed, and
 // resume skips exactly the shards whose artifacts still validate.
+// The formats live in internal/sweepfile, shared with crnsweepd.
+//
+// SIGINT/SIGTERM cancel in-flight runs cleanly: the context reaches
+// every crn.RunShard / crn.Sweep, and output files are written via
+// temp-file-plus-rename, so an interrupted invocation never leaves a
+// half-written artifact for resume to trip over.
 //
 // The spec file is a JSON mirror of crn.SweepSpec (see the package
 // README section "Distributed sweeps" for the format):
@@ -35,21 +47,25 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"crn"
+	"crn/internal/sweepd"
+	"crn/internal/sweepfile"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crnsweep:", err)
 		os.Exit(1)
 	}
@@ -62,9 +78,10 @@ const usage = `usage: crnsweep <plan|run|merge|resume|sweep> [flags]
   merge  -manifest <file> [-out <file>]           merge all shard artifacts into the sweep result
   resume -manifest <file> [-workers n]            re-run missing/invalid shards, then merge
   sweep  -spec <file> [-out <file>] [-workers n]  single-process crn.Sweep of the same spec
+         [-remote <addr> [-shards k]]             … or submit to a crnsweepd orchestrator and wait
 `
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand\n%s", usage)
 	}
@@ -73,233 +90,19 @@ func run(args []string, w io.Writer) error {
 	case "plan":
 		return cmdPlan(rest, w)
 	case "run":
-		return cmdRun(rest, w)
+		return cmdRun(ctx, rest, w)
 	case "merge":
 		return cmdMerge(rest, w)
 	case "resume":
-		return cmdResume(rest, w)
+		return cmdResume(ctx, rest, w)
 	case "sweep":
-		return cmdSweep(rest, w)
+		return cmdSweep(ctx, rest, w)
 	case "help", "-h", "-help", "--help":
 		fmt.Fprint(w, usage)
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q\n%s", cmd, usage)
 	}
-}
-
-// specFile is the declarative, JSON-serializable mirror of
-// crn.SweepSpec: crn.Primitive and crn.ScenarioOption are code, so the
-// spec names them and buildSweepSpec reconstitutes the real spec. The
-// parsed struct (not the raw file bytes) is the canonical form the
-// plan hash covers — reformatting the file does not invalidate
-// artifacts, changing its meaning does.
-type specFile struct {
-	// Primitive: cseek, naive, uniform, ckseek, cgcast or flood.
-	Primitive string `json:"primitive"`
-	// KHat is ckseek's k̂ threshold (required for ckseek).
-	KHat int `json:"khat,omitempty"`
-	// Source / Message configure the broadcast primitives.
-	Source  int    `json:"source,omitempty"`
-	Message string `json:"message,omitempty"`
-	// Variants are the scenario configurations to sweep over.
-	Variants []specVariant `json:"variants"`
-	// Seeds is the runs-per-variant count.
-	Seeds int `json:"seeds"`
-	// BaseSeed is the sweep's master seed.
-	BaseSeed uint64 `json:"baseSeed"`
-}
-
-// specVariant mirrors one crn.Variant as scenario-option fields, the
-// same vocabulary as cmd/crnsim's flags.
-type specVariant struct {
-	Name     string  `json:"name"`
-	Topology string  `json:"topology"`
-	N        int     `json:"n"`
-	Channels int     `json:"channels"`
-	K        int     `json:"k"`
-	KMax     int     `json:"kmax,omitempty"`
-	Density  float64 `json:"density,omitempty"`
-	Seed     uint64  `json:"seed"`
-	// Preset names a crn preset; Spectrum / Dynamics are "+"-stacked
-	// model specs (crn.ParseSpectrum / crn.ParseDynamics, seeded from
-	// Seed). All three stack onto the topology options, preset first.
-	Preset   string `json:"preset,omitempty"`
-	Spectrum string `json:"spectrum,omitempty"`
-	Dynamics string `json:"dynamics,omitempty"`
-}
-
-// manifest is the plan file crnsweep writes and every other subcommand
-// reads. Artifact paths are relative to the manifest's directory.
-type manifest struct {
-	Version int `json:"version"`
-	// Spec is the sweep description, verbatim in canonical form.
-	Spec *specFile `json:"spec"`
-	// Plan is the deterministic shard partition of Spec.
-	Plan *crn.ShardPlan `json:"plan"`
-	// PlanHash is planHash(Spec, Plan); artifacts embed it, which is
-	// what lets resume decide validity without re-running anything.
-	PlanHash string `json:"planHash"`
-	// Artifacts[k] is shard k's artifact filename.
-	Artifacts []string `json:"artifacts"`
-	// Merged is the merge output filename.
-	Merged string `json:"merged"`
-}
-
-// shardArtifact is one shard's on-disk result.
-type shardArtifact struct {
-	// PlanHash ties the artifact to the manifest that planned it.
-	PlanHash string `json:"planHash"`
-	// Result is the shard's runs.
-	Result *crn.ShardResult `json:"result"`
-}
-
-const manifestVersion = 1
-
-// planHash fingerprints the canonical (spec, plan) pair.
-func planHash(spec *specFile, plan *crn.ShardPlan) (string, error) {
-	doc, err := json.Marshal(struct {
-		Spec *specFile      `json:"spec"`
-		Plan *crn.ShardPlan `json:"plan"`
-	}{spec, plan})
-	if err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("sha256:%x", sha256.Sum256(doc)), nil
-}
-
-// buildSweepSpec reconstitutes the executable crn.SweepSpec a spec
-// file describes.
-func buildSweepSpec(sf *specFile, workers int) (crn.SweepSpec, error) {
-	var zero crn.SweepSpec
-	var prim crn.Primitive
-	switch sf.Primitive {
-	case "cseek", "naive", "uniform":
-		prim = crn.Discovery(crn.Algorithm(sf.Primitive))
-	case "ckseek":
-		if sf.KHat < 1 {
-			return zero, fmt.Errorf("primitive ckseek needs \"khat\" ≥ 1")
-		}
-		prim = crn.KDiscovery(sf.KHat)
-	case "cgcast", "flood":
-		msg := sf.Message
-		if msg == "" {
-			msg = "message"
-		}
-		if sf.Primitive == "cgcast" {
-			prim = crn.GlobalBroadcast(sf.Source, msg)
-		} else {
-			prim = crn.Flooding(sf.Source, msg)
-		}
-	case "":
-		return zero, fmt.Errorf("spec is missing \"primitive\"")
-	default:
-		return zero, fmt.Errorf("unknown primitive %q (have cseek, naive, uniform, ckseek, cgcast, flood)", sf.Primitive)
-	}
-	if len(sf.Variants) == 0 {
-		return zero, fmt.Errorf("spec has no variants")
-	}
-	variants := make([]crn.Variant, len(sf.Variants))
-	for i, v := range sf.Variants {
-		if v.Name == "" {
-			return zero, fmt.Errorf("variant %d has no name", i)
-		}
-		opts := []crn.ScenarioOption{
-			crn.WithTopology(crn.Topology(v.Topology)),
-			crn.WithNodes(v.N),
-			crn.WithChannels(v.Channels, v.K, v.KMax),
-			crn.WithSeed(v.Seed),
-		}
-		if v.Density > 0 {
-			opts = append(opts, crn.WithDensity(v.Density))
-		}
-		if v.Preset != "" {
-			p, err := crn.PresetByName(v.Preset)
-			if err != nil {
-				return zero, fmt.Errorf("variant %q: %w", v.Name, err)
-			}
-			opts = append(opts, p.Options...)
-		}
-		spOpts, err := crn.ParseSpectrum(v.Spectrum, v.Seed)
-		if err != nil {
-			return zero, fmt.Errorf("variant %q: %w", v.Name, err)
-		}
-		opts = append(opts, spOpts...)
-		dynOpts, err := crn.ParseDynamics(v.Dynamics, v.Seed)
-		if err != nil {
-			return zero, fmt.Errorf("variant %q: %w", v.Name, err)
-		}
-		opts = append(opts, dynOpts...)
-		variants[i] = crn.Variant{Name: v.Name, Options: opts}
-	}
-	return crn.SweepSpec{
-		Primitive: prim,
-		Variants:  variants,
-		Seeds:     sf.Seeds,
-		BaseSeed:  sf.BaseSeed,
-		Workers:   workers,
-	}, nil
-}
-
-func loadSpecFile(path string) (*specFile, error) {
-	doc, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	sf := new(specFile)
-	if err := unmarshalStrict(doc, sf); err != nil {
-		return nil, fmt.Errorf("spec %s: %w", path, err)
-	}
-	return sf, nil
-}
-
-// unmarshalStrict rejects unknown fields, so a typo'd spec key fails
-// loudly instead of silently sweeping the default.
-func unmarshalStrict(doc []byte, v any) error {
-	dec := json.NewDecoder(bytes.NewReader(doc))
-	dec.DisallowUnknownFields()
-	return dec.Decode(v)
-}
-
-func loadManifest(path string) (*manifest, string, error) {
-	doc, err := os.ReadFile(path)
-	if err != nil {
-		return nil, "", err
-	}
-	m := new(manifest)
-	if err := unmarshalStrict(doc, m); err != nil {
-		return nil, "", fmt.Errorf("manifest %s: %w", path, err)
-	}
-	if m.Version != manifestVersion {
-		return nil, "", fmt.Errorf("manifest %s: version %d, this crnsweep speaks %d", path, m.Version, manifestVersion)
-	}
-	if m.Spec == nil || m.Plan == nil {
-		return nil, "", fmt.Errorf("manifest %s: missing spec or plan", path)
-	}
-	// Recompute the hash: a hand-edited manifest must not validate
-	// artifacts recorded under the original.
-	hash, err := planHash(m.Spec, m.Plan)
-	if err != nil {
-		return nil, "", err
-	}
-	if hash != m.PlanHash {
-		return nil, "", fmt.Errorf("manifest %s: planHash %s does not match its spec+plan (%s) — manifest edited?", path, m.PlanHash, hash)
-	}
-	if len(m.Artifacts) != len(m.Plan.Shards) {
-		return nil, "", fmt.Errorf("manifest %s: %d artifact names for %d shards", path, len(m.Artifacts), len(m.Plan.Shards))
-	}
-	return m, filepath.Dir(path), nil
-}
-
-// writeJSON writes v as indented JSON. One writer for every output
-// file keeps the byte-identity contract simple: merge output and
-// single-process sweep output go through the identical encoder.
-func writeJSON(path string, v any) error {
-	doc, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(doc, '\n'), 0o644)
 }
 
 func cmdPlan(args []string, w io.Writer) error {
@@ -316,46 +119,28 @@ func cmdPlan(args []string, w io.Writer) error {
 	if *specPath == "" {
 		return fmt.Errorf("plan: -spec is required")
 	}
-	sf, err := loadSpecFile(*specPath)
+	sf, err := sweepfile.LoadSpec(*specPath)
 	if err != nil {
 		return err
 	}
-	spec, err := buildSweepSpec(sf, 0)
+	m, err := sweepfile.NewManifest(sf, *shards)
 	if err != nil {
 		return err
-	}
-	plan, err := crn.PlanShards(spec, *shards)
-	if err != nil {
-		return err
-	}
-	hash, err := planHash(sf, plan)
-	if err != nil {
-		return err
-	}
-	m := &manifest{
-		Version:  manifestVersion,
-		Spec:     sf,
-		Plan:     plan,
-		PlanHash: hash,
-		Merged:   "merged.json",
-	}
-	for k := range plan.Shards {
-		m.Artifacts = append(m.Artifacts, fmt.Sprintf("shard-%d.json", k))
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(*dir, "manifest.json")
-	if err := writeJSON(path, m); err != nil {
+	if err := sweepfile.WriteJSON(path, m); err != nil {
 		return err
 	}
-	total := len(plan.Variants) * plan.Seeds
+	total := len(m.Plan.Variants) * m.Plan.Seeds
 	fmt.Fprintf(w, "planned %d runs (%d variants × %d seeds) into %d shards: %s\n",
-		total, len(plan.Variants), plan.Seeds, len(plan.Shards), path)
+		total, len(m.Plan.Variants), m.Plan.Seeds, len(m.Plan.Shards), path)
 	return nil
 }
 
-func cmdRun(args []string, w io.Writer) error {
+func cmdRun(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("crnsweep run", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
@@ -369,64 +154,37 @@ func cmdRun(args []string, w io.Writer) error {
 	if *manifestPath == "" {
 		return fmt.Errorf("run: -manifest is required")
 	}
-	m, dir, err := loadManifest(*manifestPath)
+	m, dir, err := sweepfile.LoadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
 	if *shard < 0 || *shard >= len(m.Plan.Shards) {
 		return fmt.Errorf("run: -shard %d out of range (plan has %d shards)", *shard, len(m.Plan.Shards))
 	}
-	spec, err := buildSweepSpec(m.Spec, *workers)
+	spec, err := sweepfile.BuildSweepSpec(m.Spec, *workers)
 	if err != nil {
 		return err
 	}
-	res, err := crn.RunShard(context.Background(), spec, m.Plan, *shard)
+	res, err := crn.RunShard(ctx, spec, m.Plan, *shard)
 	if err != nil {
 		return err
 	}
 	path := filepath.Join(dir, m.Artifacts[*shard])
-	if err := writeJSON(path, &shardArtifact{PlanHash: m.PlanHash, Result: res}); err != nil {
+	if err := sweepfile.WriteJSON(path, &sweepfile.Artifact{PlanHash: m.PlanHash, Result: res}); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "shard %d: %d runs → %s\n", *shard, len(res.Runs), path)
 	return nil
 }
 
-// loadArtifact reads and validates shard k's artifact against the
-// manifest: the embedded plan hash, the shard index and the run count
-// must all line up. (MergeShards re-validates each run's identity and
-// derived seed on top.)
-func loadArtifact(m *manifest, dir string, k int) (*crn.ShardResult, error) {
-	path := filepath.Join(dir, m.Artifacts[k])
-	doc, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	a := new(shardArtifact)
-	if err := unmarshalStrict(doc, a); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if a.PlanHash != m.PlanHash {
-		return nil, fmt.Errorf("%s: artifact plan hash %s, manifest %s", path, a.PlanHash, m.PlanHash)
-	}
-	if a.Result == nil || a.Result.Shard != k {
-		return nil, fmt.Errorf("%s: artifact is not shard %d", path, k)
-	}
-	r := m.Plan.Shards[k]
-	if len(a.Result.Runs) != r.Hi-r.Lo {
-		return nil, fmt.Errorf("%s: %d runs, shard %d wants %d", path, len(a.Result.Runs), k, r.Hi-r.Lo)
-	}
-	return a.Result, nil
-}
-
 // mergeAndWrite merges shard results and writes the merge output,
 // printing the per-variant aggregates.
-func mergeAndWrite(m *manifest, outPath string, results []*crn.ShardResult, w io.Writer) error {
+func mergeAndWrite(m *sweepfile.Manifest, outPath string, results []*crn.ShardResult, w io.Writer) error {
 	merged, err := crn.MergeShards(m.Plan, results...)
 	if err != nil {
 		return err
 	}
-	if err := writeJSON(outPath, merged); err != nil {
+	if err := sweepfile.WriteJSON(outPath, merged); err != nil {
 		return err
 	}
 	for _, agg := range merged.Aggregates {
@@ -450,7 +208,7 @@ func cmdMerge(args []string, w io.Writer) error {
 	if *manifestPath == "" {
 		return fmt.Errorf("merge: -manifest is required")
 	}
-	m, dir, err := loadManifest(*manifestPath)
+	m, dir, err := sweepfile.LoadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
@@ -460,7 +218,7 @@ func cmdMerge(args []string, w io.Writer) error {
 	}
 	results := make([]*crn.ShardResult, len(m.Plan.Shards))
 	for k := range results {
-		res, err := loadArtifact(m, dir, k)
+		res, err := sweepfile.LoadArtifact(m, dir, k)
 		if err != nil {
 			return fmt.Errorf("merge: shard %d artifact invalid (run `crnsweep resume` to regenerate): %w", k, err)
 		}
@@ -469,7 +227,7 @@ func cmdMerge(args []string, w io.Writer) error {
 	return mergeAndWrite(m, outPath, results, w)
 }
 
-func cmdResume(args []string, w io.Writer) error {
+func cmdResume(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("crnsweep resume", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
@@ -482,17 +240,17 @@ func cmdResume(args []string, w io.Writer) error {
 	if *manifestPath == "" {
 		return fmt.Errorf("resume: -manifest is required")
 	}
-	m, dir, err := loadManifest(*manifestPath)
+	m, dir, err := sweepfile.LoadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
-	spec, err := buildSweepSpec(m.Spec, *workers)
+	spec, err := sweepfile.BuildSweepSpec(m.Spec, *workers)
 	if err != nil {
 		return err
 	}
 	results := make([]*crn.ShardResult, len(m.Plan.Shards))
 	for k := range results {
-		if res, err := loadArtifact(m, dir, k); err == nil {
+		if res, err := sweepfile.LoadArtifact(m, dir, k); err == nil {
 			fmt.Fprintf(w, "shard %d: artifact valid, skipped\n", k)
 			results[k] = res
 			continue
@@ -501,11 +259,11 @@ func cmdResume(args []string, w io.Writer) error {
 		} else {
 			fmt.Fprintf(w, "shard %d: no artifact, running\n", k)
 		}
-		res, err := crn.RunShard(context.Background(), spec, m.Plan, k)
+		res, err := crn.RunShard(ctx, spec, m.Plan, k)
 		if err != nil {
 			return fmt.Errorf("resume: shard %d: %w", k, err)
 		}
-		if err := writeJSON(filepath.Join(dir, m.Artifacts[k]), &shardArtifact{PlanHash: m.PlanHash, Result: res}); err != nil {
+		if err := sweepfile.WriteJSON(filepath.Join(dir, m.Artifacts[k]), &sweepfile.Artifact{PlanHash: m.PlanHash, Result: res}); err != nil {
 			return err
 		}
 		results[k] = res
@@ -513,13 +271,15 @@ func cmdResume(args []string, w io.Writer) error {
 	return mergeAndWrite(m, filepath.Join(dir, m.Merged), results, w)
 }
 
-func cmdSweep(args []string, w io.Writer) error {
+func cmdSweep(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("crnsweep sweep", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
 		specPath = fs.String("spec", "", "sweep spec file (JSON, required)")
 		out      = fs.String("out", "", "output file (default: print to stdout)")
 		workers  = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS); does not affect output bytes")
+		remote   = fs.String("remote", "", "crnsweepd base URL; run the sweep on the service instead of in-process")
+		shards   = fs.Int("shards", 1, "shard count for -remote submission")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -527,29 +287,59 @@ func cmdSweep(args []string, w io.Writer) error {
 	if *specPath == "" {
 		return fmt.Errorf("sweep: -spec is required")
 	}
-	sf, err := loadSpecFile(*specPath)
+	sf, err := sweepfile.LoadSpec(*specPath)
 	if err != nil {
 		return err
 	}
-	spec, err := buildSweepSpec(sf, *workers)
-	if err != nil {
-		return err
+
+	var doc []byte
+	if *remote != "" {
+		doc, err = remoteSweep(ctx, *remote, sf, *shards, w)
+	} else {
+		doc, err = localSweep(ctx, sf, *workers)
 	}
-	res, err := crn.Sweep(context.Background(), spec)
 	if err != nil {
 		return err
 	}
 	if *out == "" {
-		doc, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		_, err = fmt.Fprintf(w, "%s\n", doc)
+		_, err = w.Write(doc)
 		return err
 	}
-	if err := writeJSON(*out, res); err != nil {
+	if err := sweepfile.WriteFileAtomic(*out, doc); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "swept %d runs → %s\n", len(res.Runs), *out)
+	fmt.Fprintf(w, "swept → %s\n", *out)
 	return nil
+}
+
+func localSweep(ctx context.Context, sf *sweepfile.Spec, workers int) ([]byte, error) {
+	spec, err := sweepfile.BuildSweepSpec(sf, workers)
+	if err != nil {
+		return nil, err
+	}
+	res, err := crn.Sweep(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return sweepfile.MarshalPretty(res)
+}
+
+// remoteSweep submits the spec to a crnsweepd orchestrator, waits for
+// the job and returns the merged result bytes — which the service
+// guarantees to be the bytes localSweep would have produced.
+func remoteSweep(ctx context.Context, addr string, sf *sweepfile.Spec, shards int, w io.Writer) ([]byte, error) {
+	c := sweepd.NewClient(addr)
+	if err := c.WaitReady(ctx, 10*time.Second); err != nil {
+		return nil, err
+	}
+	id, err := c.Submit(ctx, sf, shards)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "submitted job %s to %s (%d shards)\n", id, addr, shards)
+	if _, err := c.Wait(ctx, id, 500*time.Millisecond); err != nil {
+		return nil, err
+	}
+	_, doc, err := c.Result(ctx, id)
+	return doc, err
 }

@@ -6,12 +6,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"crn"
+	"crn/internal/sweepd"
+	"crn/internal/sweepfile"
 )
 
 // go test ./cmd/crnsweep -run TestGolden -update rewrites the golden
@@ -19,6 +24,7 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden sharded-sweep files")
 
 func TestCLIValidation(t *testing.T) {
+	ctx := context.Background()
 	bad := [][]string{
 		{},
 		{"teleport"},
@@ -31,16 +37,17 @@ func TestCLIValidation(t *testing.T) {
 		{"run", "-manifest", "/nonexistent.json", "-shard", "0"},
 	}
 	for _, args := range bad {
-		if err := run(args, io.Discard); err == nil {
+		if err := run(ctx, args, io.Discard); err == nil {
 			t.Errorf("run(%v) accepted", args)
 		}
 	}
-	if err := run([]string{"help"}, io.Discard); err != nil {
+	if err := run(ctx, []string{"help"}, io.Discard); err != nil {
 		t.Errorf("help: %v", err)
 	}
 }
 
 func TestSpecValidation(t *testing.T) {
+	ctx := context.Background()
 	cases := []struct {
 		name string
 		doc  string
@@ -59,7 +66,7 @@ func TestSpecValidation(t *testing.T) {
 		if err := os.WriteFile(path, []byte(tc.doc), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := run([]string{"plan", "-spec", path, "-dir", t.TempDir()}, io.Discard); err == nil {
+		if err := run(ctx, []string{"plan", "-spec", path, "-dir", t.TempDir()}, io.Discard); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
@@ -94,13 +101,14 @@ func checkGolden(t *testing.T, goldenPath string, got []byte) {
 // crn.Sweep of the same spec, and a 1-shard plan produces the same
 // bytes again.
 func TestGoldenShardedSweep(t *testing.T) {
+	ctx := context.Background()
 	if testing.Short() {
 		t.Skip("runs real simulations")
 	}
 	specPath := filepath.Join("testdata", "spec.json")
 	dir := t.TempDir()
 
-	if err := run([]string{"plan", "-spec", specPath, "-shards", "4", "-dir", dir}, io.Discard); err != nil {
+	if err := run(ctx, []string{"plan", "-spec", specPath, "-shards", "4", "-dir", dir}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	manifestPath := filepath.Join(dir, "manifest.json")
@@ -111,11 +119,11 @@ func TestGoldenShardedSweep(t *testing.T) {
 	checkGolden(t, filepath.Join("testdata", "golden", "manifest.json"), manifestDoc)
 
 	for k := 0; k < 4; k++ {
-		if err := run([]string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
+		if err := run(ctx, []string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
 			t.Fatalf("shard %d: %v", k, err)
 		}
 	}
-	if err := run([]string{"merge", "-manifest", manifestPath}, io.Discard); err != nil {
+	if err := run(ctx, []string{"merge", "-manifest", manifestPath}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	merged, err := os.ReadFile(filepath.Join(dir, "merged.json"))
@@ -126,11 +134,11 @@ func TestGoldenShardedSweep(t *testing.T) {
 
 	// Byte-identity against the in-process engine: same spec, direct
 	// crn.Sweep, same encoder.
-	sf, err := loadSpecFile(specPath)
+	sf, err := sweepfile.LoadSpec(specPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := buildSweepSpec(sf, 3)
+	spec, err := sweepfile.BuildSweepSpec(sf, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +162,7 @@ func TestGoldenShardedSweep(t *testing.T) {
 		{"run", "-manifest", filepath.Join(oneDir, "manifest.json"), "-shard", "0"},
 		{"merge", "-manifest", filepath.Join(oneDir, "manifest.json")},
 	} {
-		if err := run(args, io.Discard); err != nil {
+		if err := run(ctx, args, io.Discard); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
@@ -171,17 +179,18 @@ func TestGoldenShardedSweep(t *testing.T) {
 // corrupting another, resume re-runs exactly those two, keeps the
 // valid ones, and reproduces the golden merged output.
 func TestResumeReRunsOnlyInvalidShards(t *testing.T) {
+	ctx := context.Background()
 	if testing.Short() {
 		t.Skip("runs real simulations")
 	}
 	specPath := filepath.Join("testdata", "spec.json")
 	dir := t.TempDir()
 	manifestPath := filepath.Join(dir, "manifest.json")
-	if err := run([]string{"plan", "-spec", specPath, "-shards", "4", "-dir", dir}, io.Discard); err != nil {
+	if err := run(ctx, []string{"plan", "-spec", specPath, "-shards", "4", "-dir", dir}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for k := 0; k < 4; k++ {
-		if err := run([]string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
+		if err := run(ctx, []string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -194,7 +203,7 @@ func TestResumeReRunsOnlyInvalidShards(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := run([]string{"resume", "-manifest", manifestPath}, &out); err != nil {
+	if err := run(ctx, []string{"resume", "-manifest", manifestPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	log := out.String()
@@ -219,7 +228,7 @@ func TestResumeReRunsOnlyInvalidShards(t *testing.T) {
 
 	// A second resume is a no-op: everything validates.
 	out.Reset()
-	if err := run([]string{"resume", "-manifest", manifestPath}, &out); err != nil {
+	if err := run(ctx, []string{"resume", "-manifest", manifestPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for k := 0; k < 4; k++ {
@@ -233,17 +242,18 @@ func TestResumeReRunsOnlyInvalidShards(t *testing.T) {
 // different plan (different base seed → different hash) is rejected by
 // merge rather than silently combined.
 func TestMergeRejectsForeignArtifact(t *testing.T) {
+	ctx := context.Background()
 	if testing.Short() {
 		t.Skip("runs real simulations")
 	}
 	specPath := filepath.Join("testdata", "spec.json")
 	dir := t.TempDir()
 	manifestPath := filepath.Join(dir, "manifest.json")
-	if err := run([]string{"plan", "-spec", specPath, "-shards", "2", "-dir", dir}, io.Discard); err != nil {
+	if err := run(ctx, []string{"plan", "-spec", specPath, "-shards", "2", "-dir", dir}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for k := 0; k < 2; k++ {
-		if err := run([]string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
+		if err := run(ctx, []string{"run", "-manifest", manifestPath, "-shard", fmt.Sprint(k)}, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -260,10 +270,10 @@ func TestMergeRejectsForeignArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	foreignDir := t.TempDir()
-	if err := run([]string{"plan", "-spec", foreignSpec, "-shards", "2", "-dir", foreignDir}, io.Discard); err != nil {
+	if err := run(ctx, []string{"plan", "-spec", foreignSpec, "-shards", "2", "-dir", foreignDir}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"run", "-manifest", filepath.Join(foreignDir, "manifest.json"), "-shard", "1"}, io.Discard); err != nil {
+	if err := run(ctx, []string{"run", "-manifest", filepath.Join(foreignDir, "manifest.json"), "-shard", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 
@@ -274,7 +284,65 @@ func TestMergeRejectsForeignArtifact(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "shard-1.json"), src, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"merge", "-manifest", manifestPath}, io.Discard); err == nil {
+	if err := run(ctx, []string{"merge", "-manifest", manifestPath}, io.Discard); err == nil {
 		t.Error("merge accepted an artifact from a different base seed")
+	}
+}
+
+// TestSweepRemote: `crnsweep sweep -remote` must produce the same
+// bytes as a local `crnsweep sweep`, routed through an in-process
+// daemon and worker instead of this process's executor.
+func TestSweepRemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	srv, err := sweepd.New(sweepd.Config{
+		Spool:    t.TempDir(),
+		LeaseTTL: time.Minute,
+		Log:      log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One worker drains jobs in the background until the test ends.
+	wctx, stopWorker := context.WithCancel(ctx)
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		wk := &sweepd.Worker{
+			Client: sweepd.NewClient(ts.URL),
+			Name:   "remote-test",
+			Poll:   20 * time.Millisecond,
+			Log:    log.New(io.Discard, "", 0),
+		}
+		wk.Run(wctx)
+	}()
+	defer func() { stopWorker(); <-workerDone }()
+
+	spec := filepath.Join("testdata", "spec.json")
+	localOut := filepath.Join(t.TempDir(), "local.json")
+	if err := run(ctx, []string{"sweep", "-spec", spec, "-out", localOut}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	remoteOut := filepath.Join(t.TempDir(), "remote.json")
+	if err := run(ctx, []string{"sweep", "-spec", spec, "-out", remoteOut, "-remote", ts.URL, "-shards", "3"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := os.ReadFile(remoteOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(local) != string(remote) {
+		t.Error("remote sweep bytes diverged from local sweep bytes")
 	}
 }

@@ -1,0 +1,334 @@
+// Command crnsweepd runs the sweep orchestration service and its
+// clients: a daemon that queues sweep jobs and leases shards to a
+// fleet of pull-based workers, the worker itself, and thin verbs for
+// submitting and following jobs. The spec and artifact formats are
+// exactly cmd/crnsweep's (internal/sweepfile), and the service's
+// contract is byte-identity: the merged result of a job equals the
+// output of an in-process crn.Sweep of the same spec, no matter how
+// many workers ran it or how many leases expired along the way.
+//
+// A minimal fleet:
+//
+//	crnsweepd serve  -addr 127.0.0.1:8471 -spool /var/tmp/crnspool &
+//	crnsweepd worker -connect 127.0.0.1:8471 -name w1 &
+//	crnsweepd worker -connect 127.0.0.1:8471 -name w2 &
+//	id=$(crnsweepd submit -connect 127.0.0.1:8471 -spec spec.json -shards 4)
+//	crnsweepd wait   -connect 127.0.0.1:8471 -job "$id" -out merged.json
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM; because every
+// job's state lives in the spool, restarting it on the same -spool
+// resumes in-flight jobs without re-running shards that already
+// produced valid artifacts. Workers exit on SIGINT/SIGTERM too; any
+// shard they held is re-dispatched when its lease expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crn/internal/sweepd"
+	"crn/internal/sweepfile"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crnsweepd:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: crnsweepd <serve|worker|submit|status|result|wait> [flags]
+
+  serve  -spool <dir> [-addr host:port] [-lease d] [-maxattempts n]
+         run the orchestrator daemon (restart on the same -spool resumes jobs)
+  worker -connect <addr> [-name s] [-workers n] [-poll d] [-maxshards n]
+         run a worker: lease shards, execute, upload artifacts, heartbeat
+  submit -connect <addr> -spec <file> [-shards k]
+         queue a sweep; prints the job id
+  status -connect <addr> [-job id]
+         show one job (or all jobs) with per-shard state
+  result -connect <addr> -job <id> [-out file]
+         fetch a finished job's merged result (verbatim bytes)
+  wait   -connect <addr> -job <id> [-out file] [-poll d]
+         block until the job finishes, then fetch the result
+`
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand\n%s", usage)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "serve":
+		return cmdServe(ctx, rest, w)
+	case "worker":
+		return cmdWorker(ctx, rest, w)
+	case "submit":
+		return cmdSubmit(ctx, rest, w)
+	case "status":
+		return cmdStatus(ctx, rest, w)
+	case "result":
+		return cmdResult(ctx, rest, w)
+	case "wait":
+		return cmdWait(ctx, rest, w)
+	case "help", "-h", "-help", "--help":
+		fmt.Fprint(w, usage)
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", cmd, usage)
+	}
+}
+
+func cmdServe(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweepd serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8471", "listen address")
+		spool       = fs.String("spool", "", "job spool directory (required)")
+		leaseTTL    = fs.Duration("lease", 60*time.Second, "shard lease TTL; expired leases are re-dispatched")
+		maxAttempts = fs.Int("maxattempts", 5, "lease attempts per shard before the job fails")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spool == "" {
+		return fmt.Errorf("serve: -spool is required")
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := sweepd.New(sweepd.Config{
+		Spool:       *spool,
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+		Log:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(w, "crnsweepd: serving on %s (spool %s, lease %v)\n", ln.Addr(), *spool, *leaseTTL)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("sweepd: signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(w, "crnsweepd: stopped cleanly (spool preserved; restart to resume)")
+	return nil
+}
+
+func cmdWorker(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweepd worker", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		connect   = fs.String("connect", "", "daemon address (required)")
+		name      = fs.String("name", "", "worker name (default: host-pid)")
+		workers   = fs.Int("workers", 0, "per-shard simulation pool size (0: GOMAXPROCS); never affects bytes")
+		poll      = fs.Duration("poll", 200*time.Millisecond, "idle re-poll interval")
+		maxShards = fs.Int("maxshards", 0, "exit after completing n shards (0: run until signalled)")
+		abandon   = fs.Int("abandon", 0, "exit after acquiring the nth lease without completing it (straggler simulation)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("worker: -connect is required")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	c := sweepd.NewClient(*connect)
+	if err := c.WaitReady(ctx, 10*time.Second); err != nil {
+		return err
+	}
+	wk := &sweepd.Worker{
+		Client:       c,
+		Name:         *name,
+		Workers:      *workers,
+		Poll:         *poll,
+		MaxShards:    *maxShards,
+		AbandonAfter: *abandon,
+		Log:          log.New(os.Stderr, "", log.LstdFlags),
+	}
+	fmt.Fprintf(w, "crnsweepd: worker %s pulling from %s\n", *name, *connect)
+	return wk.Run(ctx)
+}
+
+func cmdSubmit(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweepd submit", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		connect  = fs.String("connect", "", "daemon address (required)")
+		specPath = fs.String("spec", "", "sweep spec file (JSON, required)")
+		shards   = fs.Int("shards", 1, "shard count to plan")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" || *specPath == "" {
+		return fmt.Errorf("submit: -connect and -spec are required")
+	}
+	sf, err := sweepfile.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	c := sweepd.NewClient(*connect)
+	if err := c.WaitReady(ctx, 10*time.Second); err != nil {
+		return err
+	}
+	id, err := c.Submit(ctx, sf, *shards)
+	if err != nil {
+		return err
+	}
+	// Bare id on stdout: `id=$(crnsweepd submit ...)` just works.
+	fmt.Fprintln(w, id)
+	return nil
+}
+
+func printStatus(w io.Writer, st *sweepd.JobStatus) {
+	fmt.Fprintf(w, "job %s  %-8s %d/%d shards done  %d runs  plan %s\n",
+		st.ID, st.State, st.Done, st.Total, st.Runs, st.PlanHash)
+	for _, sh := range st.Shards {
+		line := fmt.Sprintf("  shard %-3d %-8s attempts=%d", sh.Shard, sh.State, sh.Attempts)
+		if sh.Worker != "" {
+			line += " worker=" + sh.Worker
+		}
+		fmt.Fprintln(w, line)
+	}
+	if st.Error != "" {
+		fmt.Fprintf(w, "  error: %s\n", st.Error)
+	}
+}
+
+func cmdStatus(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweepd status", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		connect = fs.String("connect", "", "daemon address (required)")
+		jobID   = fs.String("job", "", "job id (default: list all jobs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("status: -connect is required")
+	}
+	c := sweepd.NewClient(*connect)
+	if *jobID != "" {
+		st, err := c.Status(ctx, *jobID)
+		if err != nil {
+			return err
+		}
+		printStatus(w, st)
+		return nil
+	}
+	list, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	if len(list.Jobs) == 0 {
+		fmt.Fprintln(w, "no jobs")
+		return nil
+	}
+	for i := range list.Jobs {
+		printStatus(w, &list.Jobs[i])
+	}
+	return nil
+}
+
+// fetchResult writes a finished job's merged bytes verbatim to -out
+// (or stdout) — verbatim is the point: the file must byte-match an
+// in-process sweep's output.
+func fetchResult(ctx context.Context, c *sweepd.Client, jobID, out string, w io.Writer) error {
+	_, doc, err := c.Result(ctx, jobID)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = w.Write(doc)
+		return err
+	}
+	if err := sweepfile.WriteFileAtomic(out, doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "job %s result → %s\n", jobID, out)
+	return nil
+}
+
+func cmdResult(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweepd result", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		connect = fs.String("connect", "", "daemon address (required)")
+		jobID   = fs.String("job", "", "job id (required)")
+		out     = fs.String("out", "", "output file (default: print to stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" || *jobID == "" {
+		return fmt.Errorf("result: -connect and -job are required")
+	}
+	return fetchResult(ctx, sweepd.NewClient(*connect), *jobID, *out, w)
+}
+
+func cmdWait(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweepd wait", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		connect = fs.String("connect", "", "daemon address (required)")
+		jobID   = fs.String("job", "", "job id (required)")
+		out     = fs.String("out", "", "result output file (default: print to stdout)")
+		poll    = fs.Duration("poll", 500*time.Millisecond, "status poll interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" || *jobID == "" {
+		return fmt.Errorf("wait: -connect and -job are required")
+	}
+	c := sweepd.NewClient(*connect)
+	if err := c.WaitReady(ctx, 10*time.Second); err != nil {
+		return err
+	}
+	st, err := c.Wait(ctx, *jobID, *poll)
+	if err != nil {
+		return err
+	}
+	if *out != "" { // keep stdout pure JSON when the result goes there
+		fmt.Fprintf(w, "job %s done: %d/%d shards\n", st.ID, st.Done, st.Total)
+	}
+	return fetchResult(ctx, c, *jobID, *out, w)
+}

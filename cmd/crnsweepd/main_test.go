@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crn/internal/sweepd"
+)
+
+func TestCLIValidation(t *testing.T) {
+	ctx := context.Background()
+	bad := [][]string{
+		{},
+		{"teleport"},
+		{"serve"},                             // missing -spool
+		{"worker"},                            // missing -connect
+		{"submit"},                            // missing -connect/-spec
+		{"submit", "-connect", "127.0.0.1:1"}, // missing -spec
+		{"status"},                            // missing -connect
+		{"result", "-connect", "127.0.0.1:1"}, // missing -job
+		{"wait", "-connect", "127.0.0.1:1"},   // missing -job
+	}
+	for _, args := range bad {
+		if err := run(ctx, args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+	if err := run(ctx, []string{"help"}, io.Discard); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+// TestServeShutsDownGracefully: serve drains and exits cleanly when
+// its context is cancelled (the SIGINT/SIGTERM path).
+func TestServeShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-spool", t.TempDir()}, &out)
+	}()
+	// Give the listener a beat to come up, then signal.
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after cancellation")
+	}
+	if !strings.Contains(out.String(), "stopped cleanly") {
+		t.Errorf("serve output missing graceful-shutdown marker:\n%s", out.String())
+	}
+}
+
+// TestCLIAgainstService drives submit → status → worker → wait → result
+// through the CLI verbs against an in-process daemon, and checks the
+// fetched result byte-matches `crnsweep sweep` semantics (the shared
+// spec from cmd/crnsweep's testdata).
+func TestCLIAgainstService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	srv, err := sweepd.New(sweepd.Config{
+		Spool:    t.TempDir(),
+		LeaseTTL: time.Minute,
+		Log:      log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specPath := filepath.Join("..", "crnsweep", "testdata", "spec.json")
+
+	var submitOut strings.Builder
+	if err := run(ctx, []string{"submit", "-connect", ts.URL, "-spec", specPath, "-shards", "3"}, &submitOut); err != nil {
+		t.Fatal(err)
+	}
+	id := strings.TrimSpace(submitOut.String())
+	if id == "" || strings.ContainsAny(id, " \n") {
+		t.Fatalf("submit did not print a bare job id: %q", submitOut.String())
+	}
+
+	var statusOut strings.Builder
+	if err := run(ctx, []string{"status", "-connect", ts.URL, "-job", id}, &statusOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(statusOut.String(), "0/3 shards done") {
+		t.Errorf("status output unexpected:\n%s", statusOut.String())
+	}
+
+	// result before completion must refuse.
+	if err := run(ctx, []string{"result", "-connect", ts.URL, "-job", id}, io.Discard); err == nil {
+		t.Error("result of an unfinished job accepted")
+	}
+
+	// A CLI worker drains the whole job, then exits via -maxshards.
+	if err := run(ctx, []string{"worker", "-connect", ts.URL, "-name", "cli-w", "-maxshards", "3", "-poll", "20ms"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	resultPath := filepath.Join(t.TempDir(), "service.json")
+	var waitOut strings.Builder
+	if err := run(ctx, []string{"wait", "-connect", ts.URL, "-job", id, "-out", resultPath, "-poll", "20ms"}, &waitOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(waitOut.String(), "done: 3/3") {
+		t.Errorf("wait output unexpected:\n%s", waitOut.String())
+	}
+
+	got, err := os.ReadFile(resultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed golden merged output is the in-process crn.Sweep
+	// reference for this spec (pinned by cmd/crnsweep's tests): the
+	// service result must byte-match it, shards and workers be damned.
+	want, err := os.ReadFile(filepath.Join("..", "crnsweep", "testdata", "golden", "merged.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("service result diverged from the committed golden merged output")
+	}
+
+	// The `result` verb fetches the same bytes again.
+	var resultOut strings.Builder
+	if err := run(ctx, []string{"result", "-connect", ts.URL, "-job", id}, &resultOut); err != nil {
+		t.Fatal(err)
+	}
+	if resultOut.String() != string(want) {
+		t.Error("result verb bytes diverged from wait -out bytes")
+	}
+}
+
+// TestWorkerAbandonFlag: -abandon makes the worker exit after taking
+// a lease without completing it — the straggler CI simulation.
+func TestWorkerAbandonFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	srv, err := sweepd.New(sweepd.Config{
+		Spool:    t.TempDir(),
+		LeaseTTL: time.Minute,
+		Log:      log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specPath := filepath.Join("..", "crnsweep", "testdata", "spec.json")
+	var submitOut strings.Builder
+	if err := run(ctx, []string{"submit", "-connect", ts.URL, "-spec", specPath, "-shards", "2"}, &submitOut); err != nil {
+		t.Fatal(err)
+	}
+	id := strings.TrimSpace(submitOut.String())
+
+	if err := run(ctx, []string{"worker", "-connect", ts.URL, "-name", "straggler", "-abandon", "1", "-poll", "20ms"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var statusOut strings.Builder
+	if err := run(ctx, []string{"status", "-connect", ts.URL, "-job", id}, &statusOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(statusOut.String(), "leased") {
+		t.Errorf("abandoned lease not visible in status:\n%s", statusOut.String())
+	}
+}

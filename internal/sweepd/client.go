@@ -1,0 +1,230 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"crn"
+	"crn/internal/sweepfile"
+)
+
+// Client speaks the crnsweepd HTTP API. The zero value is not usable;
+// construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:8471"). A missing scheme defaults to http://.
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{},
+	}
+}
+
+// do issues one request; out, when non-nil, receives the decoded JSON
+// reply. A nil, nil return means 204 No Content.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		doc, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(doc)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	doc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er errorReply
+		if json.Unmarshal(doc, &er) == nil && er.Error != "" {
+			return fmt.Errorf("%s %s: %s (http %d)", method, path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: http %d", method, path, resp.StatusCode)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	return json.Unmarshal(doc, out)
+}
+
+// WaitReady polls the daemon's health endpoint until it answers or
+// the timeout elapses — submit scripts race daemon startup otherwise.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := c.do(ctx, http.MethodGet, "/api/v1/healthz", nil, nil)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not ready after %v: %w", c.base, timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Submit queues a sweep and returns its job id.
+func (c *Client) Submit(ctx context.Context, spec *sweepfile.Spec, shards int) (string, error) {
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", &SubmitRequest{Spec: spec, Shards: shards}, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Jobs lists every job the daemon knows, in submission order.
+func (c *Client) Jobs(ctx context.Context) (*JobList, error) {
+	var list JobList
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &list); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// Status fetches one job's live state.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a done job's merged SweepResult — both parsed and as
+// the verbatim bytes the daemon serves, which are the bytes an
+// in-process crn.Sweep would have produced (the byte-identity
+// contract; compare them with cmp/diff, not semantically).
+func (c *Client) Result(ctx context.Context, id string) (*crn.SweepResult, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	doc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorReply
+		if json.Unmarshal(doc, &er) == nil && er.Error != "" {
+			return nil, nil, fmt.Errorf("result %s: %s (http %d)", id, er.Error, resp.StatusCode)
+		}
+		return nil, nil, fmt.Errorf("result %s: http %d", id, resp.StatusCode)
+	}
+	res := new(crn.SweepResult)
+	if err := json.Unmarshal(doc, res); err != nil {
+		return nil, nil, err
+	}
+	return res, doc, nil
+}
+
+// Wait polls a job until it is done (returning its final status) or
+// failed (returning an error), at the given poll interval.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case JobDone:
+			return st, nil
+		case JobFailed:
+			return st, fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Acquire pulls one lease; nil means no work is available right now.
+func (c *Client) Acquire(ctx context.Context, worker string) (*LeaseGrant, error) {
+	req, err := json.Marshal(&LeaseRequest{Worker: worker})
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/lease", bytes.NewReader(req))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	doc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		grant := new(LeaseGrant)
+		if err := json.Unmarshal(doc, grant); err != nil {
+			return nil, err
+		}
+		return grant, nil
+	default:
+		var er errorReply
+		if json.Unmarshal(doc, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("lease: %s (http %d)", er.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("lease: http %d", resp.StatusCode)
+	}
+}
+
+// Heartbeat extends a held lease.
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/leases/"+leaseID+"/heartbeat", &struct{}{}, nil)
+}
+
+// Complete uploads a finished shard's artifact under its lease.
+func (c *Client) Complete(ctx context.Context, leaseID string, a *sweepfile.Artifact) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/leases/"+leaseID+"/complete", &CompleteRequest{Artifact: a}, nil)
+}
+
+// Fail releases a lease the worker cannot finish.
+func (c *Client) Fail(ctx context.Context, leaseID, reason string) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/leases/"+leaseID+"/fail", &FailRequest{Reason: reason}, nil)
+}

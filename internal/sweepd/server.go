@@ -1,0 +1,358 @@
+package sweepd
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"crn/internal/sweepfile"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Spool is the job-state directory (required). A daemon restarted
+	// on the same spool resumes its in-flight jobs.
+	Spool string
+	// LeaseTTL is how long a worker may hold a shard without
+	// heartbeating before it is re-dispatched (default 60s).
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many leases one shard may burn before its
+	// job is failed (default 5).
+	MaxAttempts int
+	// Log receives operational messages (default: log.Default()).
+	Log *log.Logger
+}
+
+// Server is the sweep orchestrator: it owns the queue and the spool
+// and exposes them as the HTTP API documented in api.go. Create one
+// with New, mount Handler on an http.Server, and Close it when done.
+type Server struct {
+	cfg      Config
+	queue    *queue
+	store    *store
+	log      *log.Logger
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New opens (or creates) the spool, recovers any jobs already in it —
+// re-queueing exactly the shards without valid artifacts, and merging
+// jobs that crashed between the last upload and the merge — and
+// returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 60 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	st, err := newStore(cfg.Spool)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: newQueue(cfg.LeaseTTL, cfg.MaxAttempts),
+		store: st,
+		log:   cfg.Log,
+		stop:  make(chan struct{}),
+	}
+	if err := s.recoverJobs(); err != nil {
+		return nil, err
+	}
+	// Reclaim straggler leases even when no worker is polling.
+	go s.janitor()
+	return s, nil
+}
+
+func (s *Server) recoverJobs() error {
+	recovered, skipped, err := s.store.recover()
+	if err != nil {
+		return err
+	}
+	for _, serr := range skipped {
+		s.log.Printf("sweepd: spool: skipping unrecoverable %v", serr)
+	}
+	// ReadDir order is lexical; dispatch in original submission order.
+	sort.Slice(recovered, func(i, k int) bool {
+		if !recovered[i].created.Equal(recovered[k].created) {
+			return recovered[i].created.Before(recovered[k].created)
+		}
+		return recovered[i].id < recovered[k].id
+	})
+	for _, rj := range recovered {
+		j := s.queue.add(rj.id, rj.dir, rj.manifest, rj.created, rj.doneShards, rj.merged)
+		done := 0
+		for _, ok := range rj.doneShards {
+			if ok {
+				done++
+			}
+		}
+		s.log.Printf("sweepd: recovered job %s: %d/%d shards done, merged=%v",
+			rj.id, done, len(rj.doneShards), rj.merged)
+		// Crashed after the last artifact but before (or during) the
+		// merge: finish it now. Deterministic bytes make this idempotent.
+		if done == len(rj.doneShards) && !rj.merged {
+			if err := s.store.mergeJob(j); err != nil {
+				s.queue.markFailed(j, err.Error())
+				s.log.Printf("sweepd: job %s: recovery merge failed: %v", rj.id, err)
+				continue
+			}
+			s.queue.markMerged(j)
+			s.log.Printf("sweepd: job %s: recovery merge complete", rj.id)
+		}
+	}
+	return nil
+}
+
+// janitor expires stale leases in the background until Close.
+func (s *Server) janitor() {
+	tick := time.NewTicker(s.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.queue.expire()
+		}
+	}
+}
+
+// Close stops the background janitor (idempotent). In-memory queue
+// state is discarded; the spool carries everything a restart needs.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	return nil
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /api/v1/lease", s.handleAcquire)
+	mux.HandleFunc("POST /api/v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/leases/{id}/complete", s.handleComplete)
+	mux.HandleFunc("POST /api/v1/leases/{id}/fail", s.handleFail)
+	mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// maxBody bounds request bodies; shard artifacts dominate and are
+// JSON run lists, far below this.
+const maxBody = 128 << 20
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return false
+	}
+	if err := sweepfile.UnmarshalStrict(doc, v); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("sweepd: writing response: %v", err)
+	}
+}
+
+func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	s.reply(w, status, &errorReply{Error: err.Error()})
+}
+
+// newJobID returns a short random id; the spool directory name and
+// the API handle are the same string.
+func newJobID() (string, error) {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Spec == nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("submit: missing spec"))
+		return
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	m, err := sweepfile.NewManifest(req.Spec, shards)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := newJobID()
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err)
+		return
+	}
+	created := time.Now().UTC()
+	dir, err := s.store.createJob(id, m, created)
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.queue.add(id, dir, m, created, nil, false)
+	s.log.Printf("sweepd: job %s submitted: %d runs in %d shards (plan %s)",
+		id, len(m.Plan.Variants)*m.Plan.Seeds, len(m.Plan.Shards), m.PlanHash)
+	s.reply(w, http.StatusOK, &SubmitResponse{ID: id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, s.queue.list())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.queue.status(r.PathValue("id"))
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("job %s not found", r.PathValue("id")))
+		return
+	}
+	s.reply(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.queue.status(id)
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Errorf("job %s not found", id))
+		return
+	}
+	switch st.State {
+	case JobFailed:
+		s.error(w, http.StatusGone, fmt.Errorf("job %s failed: %s", id, st.Error))
+		return
+	case JobDone:
+	default:
+		s.error(w, http.StatusConflict, fmt.Errorf("job %s is %s (%d/%d shards done)", id, st.State, st.Done, st.Total))
+		return
+	}
+	j, _ := s.queue.get(id)
+	doc, err := s.store.resultBytes(j)
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Serve the merged file verbatim: the bytes ARE the contract.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("lease: missing worker name"))
+		return
+	}
+	grant := s.queue.acquire(req.Worker)
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.log.Printf("sweepd: lease %s: shard %d of job %s → worker %s", grant.Lease, grant.Shard, grant.Job, req.Worker)
+	s.reply(w, http.StatusOK, grant)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := s.queue.heartbeat(r.PathValue("id")); err != nil {
+		s.error(w, http.StatusConflict, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.PathValue("id")
+	var req CompleteRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Artifact == nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("complete: missing artifact"))
+		return
+	}
+	j, shard, err := s.queue.lookup(leaseID)
+	if err != nil {
+		s.error(w, http.StatusConflict, err)
+		return
+	}
+	// The same validation gauntlet the offline pipeline applies:
+	// plan hash, shard index, run count here; per-run identity and
+	// derived seeds again at merge time.
+	if err := sweepfile.CheckArtifact(j.manifest, req.Artifact, shard); err != nil {
+		s.error(w, http.StatusUnprocessableEntity, fmt.Errorf("shard %d artifact rejected: %w", shard, err))
+		return
+	}
+	if err := s.store.writeArtifact(j, shard, req.Artifact); err != nil {
+		s.error(w, http.StatusInternalServerError, err)
+		return
+	}
+	j2, last, err := s.queue.complete(leaseID)
+	if err != nil {
+		// Lease expired between lookup and complete; the shard is
+		// re-queued and the spooled artifact (deterministic bytes)
+		// will satisfy its next lease.
+		s.error(w, http.StatusConflict, err)
+		return
+	}
+	s.log.Printf("sweepd: lease %s: shard %d of job %s complete", leaseID, shard, j.id)
+	if last {
+		if err := s.store.mergeJob(j2); err != nil {
+			s.queue.markFailed(j2, err.Error())
+			s.error(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.queue.markMerged(j2)
+		s.log.Printf("sweepd: job %s merged: result available", j2.id)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.PathValue("id")
+	var req FailRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if err := s.queue.fail(leaseID, req.Reason); err != nil {
+		s.error(w, http.StatusConflict, err)
+		return
+	}
+	s.log.Printf("sweepd: lease %s failed by worker: %s", leaseID, req.Reason)
+	w.WriteHeader(http.StatusNoContent)
+}

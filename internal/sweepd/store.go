@@ -1,0 +1,151 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"crn"
+	"crn/internal/sweepfile"
+)
+
+// store is the daemon's spool directory. Layout:
+//
+//	<root>/jobs/<id>/job.json       service metadata (id, creation time)
+//	<root>/jobs/<id>/manifest.json  exactly what `crnsweep plan` writes
+//	<root>/jobs/<id>/shard-<k>.json exactly what `crnsweep run` writes
+//	<root>/jobs/<id>/merged.json    exactly what `crnsweep merge` writes
+//
+// Because each job directory is a valid crnsweep working directory,
+// the offline tooling composes with the daemon: `crnsweep merge
+// -manifest <spool>/jobs/<id>/manifest.json` reproduces the service's
+// result, and a human can inspect or resume a wedged job by hand.
+// Recovery leans on the same property in the other direction: a
+// restarted daemon re-queues exactly the shards whose artifacts fail
+// the `crnsweep resume` validity test.
+type store struct {
+	root string
+}
+
+// jobMeta is the small service-side record next to the manifest.
+type jobMeta struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+}
+
+func newStore(root string) (*store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("sweepd: spool directory is required")
+	}
+	if err := os.MkdirAll(filepath.Join(root, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	return &store{root: root}, nil
+}
+
+func (st *store) jobDir(id string) string { return filepath.Join(st.root, "jobs", id) }
+
+// createJob spools a freshly-submitted job: directory, metadata and
+// manifest. The manifest bytes are the same bytes `crnsweep plan`
+// would have produced for this spec and shard count.
+func (st *store) createJob(id string, m *sweepfile.Manifest, created time.Time) (string, error) {
+	dir := st.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := sweepfile.WriteJSON(filepath.Join(dir, "job.json"), &jobMeta{ID: id, Created: created}); err != nil {
+		return "", err
+	}
+	if err := sweepfile.WriteJSON(filepath.Join(dir, "manifest.json"), m); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// writeArtifact spools one validated shard artifact.
+func (st *store) writeArtifact(j *job, shard int, a *sweepfile.Artifact) error {
+	return sweepfile.WriteJSON(filepath.Join(j.dir, j.manifest.Artifacts[shard]), a)
+}
+
+// mergeJob loads every spooled artifact, merges them through
+// crn.MergeShards and writes the job's merged result. Idempotent and
+// deterministic: re-merging after a crash overwrites the file with
+// identical bytes.
+func (st *store) mergeJob(j *job) error {
+	results := make([]*crn.ShardResult, len(j.manifest.Plan.Shards))
+	for k := range results {
+		res, err := sweepfile.LoadArtifact(j.manifest, j.dir, k)
+		if err != nil {
+			return fmt.Errorf("merge: shard %d: %w", k, err)
+		}
+		results[k] = res
+	}
+	merged, err := crn.MergeShards(j.manifest.Plan, results...)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	return sweepfile.WriteJSON(filepath.Join(j.dir, j.manifest.Merged), merged)
+}
+
+// resultBytes returns a done job's merged result, verbatim.
+func (st *store) resultBytes(j *job) ([]byte, error) {
+	return os.ReadFile(filepath.Join(j.dir, j.manifest.Merged))
+}
+
+// recoveredJob is one job found in the spool at startup.
+type recoveredJob struct {
+	id       string
+	dir      string
+	manifest *sweepfile.Manifest
+	created  time.Time
+	// doneShards[k]: shard k's artifact exists and validates.
+	doneShards []bool
+	// merged: merged.json parses as a SweepResult.
+	merged bool
+}
+
+// recover scans the spool and classifies every job the way `crnsweep
+// resume` would: shards with valid artifacts are done, everything
+// else is pending again. Corrupt job directories are skipped (and
+// reported) rather than taking the daemon down.
+func (st *store) recover() (jobs []*recoveredJob, skipped []error, err error) {
+	entries, err := os.ReadDir(filepath.Join(st.root, "jobs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		dir := st.jobDir(id)
+		m, _, lerr := sweepfile.LoadManifest(filepath.Join(dir, "manifest.json"))
+		if lerr != nil {
+			skipped = append(skipped, fmt.Errorf("job %s: %w", id, lerr))
+			continue
+		}
+		rj := &recoveredJob{id: id, dir: dir, manifest: m, doneShards: make([]bool, len(m.Plan.Shards))}
+		var meta jobMeta
+		if doc, rerr := os.ReadFile(filepath.Join(dir, "job.json")); rerr == nil {
+			if json.Unmarshal(doc, &meta) == nil && meta.ID == id {
+				rj.created = meta.Created
+			}
+		}
+		allValid := true
+		for k := range rj.doneShards {
+			if _, aerr := sweepfile.LoadArtifact(m, dir, k); aerr == nil {
+				rj.doneShards[k] = true
+			} else {
+				allValid = false
+			}
+		}
+		if doc, merr := os.ReadFile(filepath.Join(dir, m.Merged)); merr == nil && allValid {
+			var res crn.SweepResult
+			rj.merged = json.Unmarshal(doc, &res) == nil
+		}
+		jobs = append(jobs, rj)
+	}
+	return jobs, skipped, nil
+}

@@ -1,0 +1,553 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crn"
+	"crn/internal/sweepfile"
+)
+
+// testSpec is a small two-variant sweep (8 runs) that exercises the
+// same path/star-with-preset shapes as cmd/crnsweep's committed spec.
+func testSpec() *sweepfile.Spec {
+	return &sweepfile.Spec{
+		Primitive: "cseek",
+		Seeds:     4,
+		BaseSeed:  42,
+		Variants: []sweepfile.Variant{
+			{Name: "quiet-path", Topology: "path", N: 6, Channels: 3, K: 2, Seed: 1},
+			{Name: "busy-star", Topology: "star", N: 8, Channels: 4, K: 2, Seed: 2, Preset: "urban-busy"},
+		},
+	}
+}
+
+// directBytes is the reference: the exact bytes an in-process
+// crn.Sweep of the spec produces under the shared encoder.
+func directBytes(t *testing.T, sf *sweepfile.Spec) []byte {
+	t.Helper()
+	spec, err := sweepfile.BuildSweepSpec(sf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crn.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sweepfile.MarshalPretty(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func quietLog() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// startServer boots a Server on spool behind an httptest listener.
+func startServer(t *testing.T, spool string, ttl time.Duration) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	srv, err := New(Config{Spool: spool, LeaseTTL: ttl, Log: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts, NewClient(ts.URL)
+}
+
+// runWorker runs a Worker until it returns, reporting on done.
+func runWorker(ctx context.Context, w *Worker) chan error {
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	return done
+}
+
+// TestServiceByteIdentityTwoWorkers is the acceptance criterion: a
+// job submitted over the HTTP API and executed by two separate
+// workers returns bytes identical to in-process crn.Sweep.
+func TestServiceByteIdentityTwoWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	_, _, c := startServer(t, t.TempDir(), time.Minute)
+
+	id, err := c.Submit(ctx, testSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// MaxShards: 2 forces both workers to participate: neither can
+	// finish the 4-shard job alone.
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2"} {
+		wk := &Worker{Client: c, Name: name, Workers: 2, Poll: 10 * time.Millisecond, MaxShards: 2, Log: quietLog()}
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = wk.Run(ctx) }()
+	}
+	wg.Wait()
+
+	st, err := c.Wait(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 4 || st.State != JobDone {
+		t.Fatalf("job not done after both workers exited: %+v", st)
+	}
+	for _, sh := range st.Shards {
+		if sh.Attempts != 1 {
+			t.Errorf("shard %d took %d attempts, want 1", sh.Shard, sh.Attempts)
+		}
+	}
+
+	_, got, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directBytes(t, testSpec()); string(got) != string(want) {
+		t.Errorf("service result diverged from in-process crn.Sweep\nservice: %d bytes\ndirect:  %d bytes", len(got), len(want))
+	}
+}
+
+// TestLeaseExpiryRedispatch kills a worker mid-shard (it acquires a
+// lease and exits without completing or heartbeating) and checks that
+// the daemon re-dispatches the shard after the lease TTL — and that
+// the straggler leaves no trace in the merged bytes.
+func TestLeaseExpiryRedispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	// The lease TTL bounds how long the dead worker's shard stays
+	// stuck; generous enough that a live worker's heartbeats (TTL/3)
+	// never lapse even under the race detector's slowdown.
+	_, _, c := startServer(t, t.TempDir(), 2*time.Second)
+
+	id, err := c.Submit(ctx, testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The straggler takes exactly one lease and dies.
+	straggler := &Worker{Client: c, Name: "straggler", Poll: 5 * time.Millisecond, AbandonAfter: 1, Log: quietLog()}
+	if err := <-runWorker(ctx, straggler); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countState(st, ShardLeased); n != 1 {
+		t.Fatalf("expected 1 leased shard after the straggler died, got %+v", st.Shards)
+	}
+
+	wctx, stopWorker := context.WithCancel(ctx)
+	healthy := &Worker{Client: c, Name: "healthy", Workers: 2, Poll: 20 * time.Millisecond, Log: quietLog()}
+	done := runWorker(wctx, healthy)
+
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	st, err = c.Wait(waitCtx, id, 20*time.Millisecond)
+	stopWorker()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	redispatched := 0
+	for _, sh := range st.Shards {
+		if sh.Attempts > 1 {
+			redispatched++
+		}
+	}
+	if redispatched != 1 {
+		t.Errorf("expected exactly the straggler's shard re-dispatched, got shards %+v", st.Shards)
+	}
+
+	_, got, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directBytes(t, testSpec()); string(got) != string(want) {
+		t.Error("result after straggler re-dispatch diverged from in-process crn.Sweep")
+	}
+}
+
+func countState(st *JobStatus, state string) int {
+	n := 0
+	for _, sh := range st.Shards {
+		if sh.State == state {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDaemonRestartResume: a daemon restarted mid-job on the same
+// spool resumes the job without re-running shards that already
+// produced valid artifacts.
+func TestDaemonRestartResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	spool := t.TempDir()
+
+	srv1, ts1, c1 := startServer(t, spool, time.Minute)
+	id, err := c1.Submit(ctx, testSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete exactly 2 of the 4 shards, then kill the daemon.
+	wk := &Worker{Client: c1, Name: "w1", Workers: 2, Poll: 10 * time.Millisecond, MaxShards: 2, Log: quietLog()}
+	if err := <-runWorker(ctx, wk); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	_, _, c2 := startServer(t, spool, time.Minute)
+	st, err := c2.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 2 {
+		t.Fatalf("restarted daemon recovered %d done shards, want 2: %+v", st.Done, st.Shards)
+	}
+	if st.State != JobRunning {
+		t.Fatalf("restarted daemon reports job %s, want running", st.State)
+	}
+
+	// MaxShards: 2 — if recovery had re-queued the finished shards,
+	// two more completions could not finish the job.
+	wk2 := &Worker{Client: c2, Name: "w2", Workers: 2, Poll: 10 * time.Millisecond, MaxShards: 2, Log: quietLog()}
+	if err := <-runWorker(ctx, wk2); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c2.Wait(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range st.Shards {
+		if sh.Attempts > 1 {
+			t.Errorf("shard %d re-ran across the restart (attempts %d)", sh.Shard, sh.Attempts)
+		}
+	}
+
+	_, got, err := c2.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directBytes(t, testSpec()); string(got) != string(want) {
+		t.Error("result after daemon restart diverged from in-process crn.Sweep")
+	}
+}
+
+// TestRecoveryMerges: a daemon that died after the last artifact but
+// before the merge finishes the merge on restart.
+func TestRecoveryMerges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	spool := t.TempDir()
+
+	srv1, ts1, c1 := startServer(t, spool, time.Minute)
+	id, err := c1.Submit(ctx, testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := &Worker{Client: c1, Name: "w", Workers: 2, Poll: 10 * time.Millisecond, MaxShards: 2, Log: quietLog()}
+	if err := <-runWorker(ctx, wk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Wait(ctx, id, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	// Simulate the crash window: artifacts intact, merge lost.
+	if err := os.Remove(filepath.Join(spool, "jobs", id, "merged.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, c2 := startServer(t, spool, time.Minute)
+	st, err := c2.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("recovery did not merge the completed job: state %s", st.State)
+	}
+	_, got, err := c2.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directBytes(t, testSpec()); string(got) != string(want) {
+		t.Error("recovery-merged result diverged from in-process crn.Sweep")
+	}
+}
+
+// TestArtifactValidation: uploads that fail the planHash / shard /
+// run-count gauntlet are rejected and the shard stays leased for the
+// honest retry.
+func TestArtifactValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	_, _, c := startServer(t, t.TempDir(), time.Minute)
+
+	id, err := c.Submit(ctx, testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := c.Acquire(ctx, "tester")
+	if err != nil || grant == nil {
+		t.Fatalf("acquire: %v %v", grant, err)
+	}
+
+	spec, err := sweepfile.BuildSweepSpec(grant.Manifest.Spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crn.RunShard(ctx, spec, grant.Manifest.Plan, grant.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong plan hash: artifact from some other planned sweep.
+	err = c.Complete(ctx, grant.Lease, &sweepfile.Artifact{PlanHash: "sha256:feedface", Result: res})
+	if err == nil || !strings.Contains(err.Error(), "plan hash") {
+		t.Errorf("foreign plan hash accepted (err: %v)", err)
+	}
+	// Wrong shard index.
+	wrong := *res
+	wrong.Shard = 1 - grant.Shard
+	if err := c.Complete(ctx, grant.Lease, &sweepfile.Artifact{PlanHash: grant.Manifest.PlanHash, Result: &wrong}); err == nil {
+		t.Error("wrong-shard artifact accepted")
+	}
+	// Truncated runs.
+	short := *res
+	short.Runs = short.Runs[:len(short.Runs)-1]
+	if err := c.Complete(ctx, grant.Lease, &sweepfile.Artifact{PlanHash: grant.Manifest.PlanHash, Result: &short}); err == nil {
+		t.Error("truncated artifact accepted")
+	}
+	// Unknown lease.
+	if err := c.Complete(ctx, "l0-bogus-0", &sweepfile.Artifact{PlanHash: grant.Manifest.PlanHash, Result: res}); err == nil {
+		t.Error("unknown lease accepted")
+	}
+
+	// The honest upload still lands, and the shard is done.
+	if err := c.Complete(ctx, grant.Lease, &sweepfile.Artifact{PlanHash: grant.Manifest.PlanHash, Result: res}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards[grant.Shard].State != ShardDone {
+		t.Errorf("shard %d not done after valid upload: %+v", grant.Shard, st.Shards)
+	}
+}
+
+// TestSubmitValidation: malformed submissions are rejected with
+// errors, not queued.
+func TestSubmitValidation(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startServer(t, t.TempDir(), time.Minute)
+
+	if _, err := c.Submit(ctx, &sweepfile.Spec{Primitive: "quantum"}, 1); err == nil {
+		t.Error("unknown primitive accepted")
+	}
+	if _, err := c.Submit(ctx, nil, 1); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := c.Submit(ctx, testSpec(), -3); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := c.Status(ctx, "jdeadbeef"); err == nil {
+		t.Error("unknown job id accepted")
+	}
+	if _, _, err := c.Result(ctx, "jdeadbeef"); err == nil {
+		t.Error("result of unknown job accepted")
+	}
+}
+
+// TestResultUnavailableWhileRunning: the result endpoint refuses
+// until the job is done.
+func TestResultUnavailableWhileRunning(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startServer(t, t.TempDir(), time.Minute)
+	id, err := c.Submit(ctx, testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Result(ctx, id); err == nil || !strings.Contains(err.Error(), "queued") {
+		t.Errorf("result of a queued job served: %v", err)
+	}
+}
+
+// TestQueueLeaseLifecycle drives the queue state machine directly
+// with an injected clock: expiry re-queues, heartbeats extend, and
+// exhausted attempts fail the job.
+func TestQueueLeaseLifecycle(t *testing.T) {
+	sf := testSpec()
+	m, err := sweepfile.NewManifest(sf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	q := newQueue(time.Minute, 2)
+	q.now = func() time.Time { return now }
+	q.add("j1", t.TempDir(), m, now, nil, false)
+
+	g1 := q.acquire("w1")
+	if g1 == nil || g1.Shard != 0 {
+		t.Fatalf("first acquire: %+v", g1)
+	}
+	g2 := q.acquire("w2")
+	if g2 == nil || g2.Shard != 1 {
+		t.Fatalf("second acquire: %+v", g2)
+	}
+	if g := q.acquire("w3"); g != nil {
+		t.Fatalf("third acquire should starve, got %+v", g)
+	}
+
+	// w1 heartbeats at +50s; w2 goes silent.
+	now = now.Add(50 * time.Second)
+	if err := q.heartbeat(g1.Lease); err != nil {
+		t.Fatal(err)
+	}
+	// +70s: w2's lease (deadline +60s) expired, w1's (extended to
+	// +110s) lives.
+	now = now.Add(20 * time.Second)
+	g3 := q.acquire("w3")
+	if g3 == nil || g3.Shard != 1 {
+		t.Fatalf("expired shard not re-leased: %+v", g3)
+	}
+	if err := q.heartbeat(g2.Lease); err == nil {
+		t.Error("heartbeat on an expired lease accepted")
+	}
+	if _, _, err := q.complete(g2.Lease); err == nil {
+		t.Error("complete on an expired lease accepted")
+	}
+
+	// Complete both live leases; the second one is the job's last.
+	if _, last, err := q.complete(g1.Lease); err != nil || last {
+		t.Fatalf("complete g1: last=%v err=%v", last, err)
+	}
+	j, last, err := q.complete(g3.Lease)
+	if err != nil || !last {
+		t.Fatalf("complete g3: last=%v err=%v", last, err)
+	}
+	q.markMerged(j)
+	st, _ := q.status("j1")
+	if st.State != JobDone {
+		t.Errorf("job state %s after merge, want done", st.State)
+	}
+	if st.Shards[1].Attempts != 2 {
+		t.Errorf("re-leased shard attempts %d, want 2", st.Shards[1].Attempts)
+	}
+}
+
+// TestQueueMaxAttemptsFailsJob: a shard that keeps burning leases
+// takes its job down with a diagnosable error.
+func TestQueueMaxAttemptsFailsJob(t *testing.T) {
+	sf := testSpec()
+	m, err := sweepfile.NewManifest(sf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	q := newQueue(time.Minute, 2)
+	q.now = func() time.Time { return now }
+	q.add("j1", t.TempDir(), m, now, nil, false)
+
+	g := q.acquire("w1")
+	if err := q.fail(g.Lease, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	g = q.acquire("w1")
+	if g == nil {
+		t.Fatal("second lease refused before max attempts")
+	}
+	if err := q.fail(g.Lease, "boom again"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := q.status("j1")
+	if st.State != JobFailed {
+		t.Fatalf("job state %s after exhausting attempts, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "boom again") {
+		t.Errorf("job error %q does not carry the last failure", st.Error)
+	}
+	if g := q.acquire("w1"); g != nil {
+		t.Errorf("failed job still dispatching: %+v", g)
+	}
+}
+
+// TestSpoolLayoutIsCrnsweepCompatible: each job directory is a valid
+// crnsweep working dir — the offline merge of the spooled files
+// reproduces the service's merged bytes.
+func TestSpoolLayoutIsCrnsweepCompatible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	spool := t.TempDir()
+	_, _, c := startServer(t, spool, time.Minute)
+	id, err := c.Submit(ctx, testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := &Worker{Client: c, Name: "w", Workers: 2, Poll: 10 * time.Millisecond, MaxShards: 2, Log: quietLog()}
+	if err := <-runWorker(ctx, wk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, id, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(spool, "jobs", id)
+	m, _, err := sweepfile.LoadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*crn.ShardResult, len(m.Plan.Shards))
+	for k := range results {
+		if results[k], err = sweepfile.LoadArtifact(m, dir, k); err != nil {
+			t.Fatalf("spooled artifact %d invalid under offline validation: %v", k, err)
+		}
+	}
+	merged, err := crn.MergeShards(m.Plan, results...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := sweepfile.MarshalPretty(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(offline) != string(got) {
+		t.Error("offline merge of the spool diverged from the service result")
+	}
+	var res crn.SweepResult
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Fatalf("service result is not a SweepResult: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"crn"
+	"crn/internal/sweepfile"
+)
+
+// Worker is the pull side of the service: it polls the daemon for
+// leases, executes each leased shard with crn.RunShard (the same call
+// `crnsweep run -shard k` makes), heartbeats while it works, and
+// uploads the artifact. Run as many workers as you have machines —
+// the daemon's validation and the facade's position-derived seeds
+// make the fleet's output independent of who ran what.
+type Worker struct {
+	// Client connects to the daemon (required).
+	Client *Client
+	// Name identifies the worker in leases and logs (required).
+	Name string
+	// Workers is the per-shard simulation pool size (0: GOMAXPROCS).
+	// It never affects output bytes.
+	Workers int
+	// Poll is the idle re-poll interval (default 200ms).
+	Poll time.Duration
+	// MaxShards, when > 0, exits the worker after completing that many
+	// shards (useful in tests and drain scripts). 0 runs until ctx is
+	// cancelled.
+	MaxShards int
+	// AbandonAfter, when > 0, makes the worker exit immediately after
+	// acquiring its Nth lease without completing, failing or
+	// heartbeating it — a deterministic straggler for re-dispatch
+	// tests and the CI kill-a-worker variant.
+	AbandonAfter int
+	// Log receives per-shard progress (default: log.Default()).
+	Log *log.Logger
+}
+
+// Run executes the worker loop until ctx is cancelled (returning nil)
+// or MaxShards/AbandonAfter triggers an exit. Transient daemon errors
+// are retried at the poll interval rather than killing the worker.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil || w.Name == "" {
+		return fmt.Errorf("sweepd: worker needs a Client and a Name")
+	}
+	logf := log.Default().Printf
+	if w.Log != nil {
+		logf = w.Log.Printf
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	leased, completed := 0, 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		grant, err := w.Client.Acquire(ctx, w.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			logf("worker %s: acquire: %v (retrying)", w.Name, err)
+		}
+		if grant == nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		leased++
+		if w.AbandonAfter > 0 && leased >= w.AbandonAfter {
+			logf("worker %s: abandoning lease %s (shard %d of job %s) and exiting", w.Name, grant.Lease, grant.Shard, grant.Job)
+			return nil
+		}
+		if err := w.executeLease(ctx, grant, logf); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			logf("worker %s: lease %s: %v", w.Name, grant.Lease, err)
+			continue
+		}
+		completed++
+		if w.MaxShards > 0 && completed >= w.MaxShards {
+			logf("worker %s: completed %d shards, exiting", w.Name, completed)
+			return nil
+		}
+	}
+}
+
+// executeLease runs one leased shard end to end. The shard's context
+// is cancelled as soon as a heartbeat is rejected (lease lost to
+// expiry), so a worker that was presumed dead stops burning CPU on
+// work the daemon has already re-dispatched.
+func (w *Worker) executeLease(ctx context.Context, grant *LeaseGrant, logf func(string, ...any)) error {
+	spec, err := sweepfile.BuildSweepSpec(grant.Manifest.Spec, w.Workers)
+	if err != nil {
+		// The manifest is unexecutable; tell the daemon rather than
+		// silently re-polling the same poisoned shard.
+		if ferr := w.Client.Fail(ctx, grant.Lease, err.Error()); ferr != nil {
+			return fmt.Errorf("%v (and failing the lease: %v)", err, ferr)
+		}
+		return err
+	}
+
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := grant.TTL() / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-time.After(interval):
+			}
+			if err := w.Client.Heartbeat(shardCtx, grant.Lease); err != nil {
+				if shardCtx.Err() == nil {
+					logf("worker %s: lease %s lost: %v", w.Name, grant.Lease, err)
+					cancel()
+				}
+				return
+			}
+		}
+	}()
+
+	logf("worker %s: running shard %d of job %s (lease %s)", w.Name, grant.Shard, grant.Job, grant.Lease)
+	res, err := crn.RunShard(shardCtx, spec, grant.Manifest.Plan, grant.Shard)
+	cancel() // stop heartbeating before the upload settles the lease
+	<-hbDone
+	if err != nil {
+		if ctx.Err() == nil && shardCtx.Err() == nil {
+			if ferr := w.Client.Fail(ctx, grant.Lease, err.Error()); ferr != nil {
+				return fmt.Errorf("%v (and failing the lease: %v)", err, ferr)
+			}
+		}
+		return err
+	}
+	artifact := &sweepfile.Artifact{PlanHash: grant.Manifest.PlanHash, Result: res}
+	if err := w.Client.Complete(ctx, grant.Lease, artifact); err != nil {
+		return fmt.Errorf("uploading shard %d: %w", grant.Shard, err)
+	}
+	logf("worker %s: shard %d of job %s complete (%d runs)", w.Name, grant.Shard, grant.Job, len(res.Runs))
+	return nil
+}

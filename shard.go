@@ -179,9 +179,9 @@ func MergeShards(plan *ShardPlan, shards ...*ShardResult) (*SweepResult, error) 
 	master := rng.New(plan.BaseSeed)
 	runs := make([]Run, plan.total())
 	seen := make([]bool, len(plan.Shards))
-	for _, sr := range shards {
+	for pos, sr := range shards {
 		if sr == nil {
-			return nil, fmt.Errorf("crn: nil shard result")
+			return nil, fmt.Errorf("crn: nil shard result (argument %d of %d)", pos, len(shards))
 		}
 		if sr.Shard < 0 || sr.Shard >= len(plan.Shards) {
 			return nil, fmt.Errorf("crn: shard %d out of range (plan has %d)", sr.Shard, len(plan.Shards))

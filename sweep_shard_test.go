@@ -3,6 +3,7 @@ package crn_test
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"crn"
@@ -233,4 +234,92 @@ func TestShardValidation(t *testing.T) {
 func drift2(spec crn.SweepSpec) crn.SweepSpec {
 	spec.BaseSeed += 7
 	return spec
+}
+
+// TestShardedSweepMoreShardsThanJobs: over-sharding leaves some ranges
+// empty; running and merging those empty shards — in a rotated, not
+// sorted, order — still reproduces Sweep byte for byte.
+func TestShardedSweepMoreShardsThanJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	spec := discoverySpec(1)
+	baseline, err := crn.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(baseline)
+
+	const k = 13 // 2 variants × 4 seeds = 8 jobs, so 5 shards are empty
+	plan, err := crn.PlanShards(spec, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	shards := make([]*crn.ShardResult, k)
+	for s := 0; s < k; s++ {
+		res, err := crn.RunShard(ctx, spec, plan, s)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if len(res.Runs) == 0 {
+			empty++
+		}
+		shards[(s+5)%k] = res // rotate: merge order ≠ shard order
+	}
+	if empty != k-8 {
+		t.Fatalf("expected %d empty shards, got %d", k-8, empty)
+	}
+	merged, err := crn.MergeShards(plan, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(merged)
+	if string(got) != string(want) {
+		t.Error("over-sharded rotated merge diverged from Sweep")
+	}
+	// Dropping an empty shard is still a missing shard.
+	if _, err := crn.MergeShards(plan, shards[:k-1]...); err == nil {
+		t.Error("merge missing an empty shard accepted")
+	}
+}
+
+// TestMergeShardsErrorMessages: merge failures must say which shard —
+// by index, or by argument position when the index is unreadable —
+// so a spool full of artifacts is debuggable from the error alone.
+func TestMergeShardsErrorMessages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	spec := discoverySpec(1)
+	plan, err := crn.PlanShards(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*crn.ShardResult
+	for s := 0; s < 3; s++ {
+		res, err := crn.RunShard(ctx, spec, plan, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	wantErr := func(msg string, shards ...*crn.ShardResult) {
+		t.Helper()
+		_, err := crn.MergeShards(plan, shards...)
+		if err == nil {
+			t.Errorf("merge accepted, want error containing %q", msg)
+			return
+		}
+		if !strings.Contains(err.Error(), msg) {
+			t.Errorf("error %q does not contain %q", err, msg)
+		}
+	}
+	wantErr("shard 1 supplied twice", results[0], results[1], results[1])
+	wantErr("argument 1 of 3", results[0], nil, results[2])
+	wantErr("shard 2 missing", results[0], results[1])
+	wantErr("shard 7 out of range", results[0], results[1], &crn.ShardResult{Shard: 7})
+	wantErr("shard 2 has 0 runs", results[0], results[1], &crn.ShardResult{Shard: 2})
 }
