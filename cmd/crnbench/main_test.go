@@ -112,3 +112,58 @@ func TestCompareReports(t *testing.T) {
 		t.Errorf("time-only regression failed the gate: %v", err)
 	}
 }
+
+// TestCompareReportsRenames pins the rename/addition semantics in both
+// directions: a benchmark present only in the current run and one
+// present only in the baseline each produce a clear NOTE and neither
+// gates — renaming a benchmark must not brick CI, in either direction.
+func TestCompareReportsRenames(t *testing.T) {
+	baseline := BenchReport{Results: []BenchResult{
+		{Name: "engine/slot", NsPerOp: 3000, AllocsPerOp: 0},
+		{Name: "engine/old-name", NsPerOp: 5000, AllocsPerOp: 3},
+	}}
+	current := BenchReport{Results: []BenchResult{
+		{Name: "engine/slot", NsPerOp: 3100, AllocsPerOp: 0},
+		{Name: "engine/new-name", NsPerOp: 4000, AllocsPerOp: 900},
+	}}
+	var out strings.Builder
+	if err := compareReports(&out, baseline, current); err != nil {
+		t.Fatalf("rename in both directions failed the gate: %v", err)
+	}
+	for _, want := range []string{
+		"engine/new-name", "no baseline entry",
+		"engine/old-name", "not in this run",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCompareReportsSkipped: entries skipped on either side (e.g.
+// sweep/workers beyond the host's GOMAXPROCS) are excluded from the
+// gate with an explicit SKIP line — even when the other side carries a
+// number that would otherwise regress.
+func TestCompareReportsSkipped(t *testing.T) {
+	baseline := BenchReport{Results: []BenchResult{
+		{Name: "sweep/workers=4", NsPerOp: 500e6, AllocsPerOp: 100},
+		{Name: "sweep/workers=8", Skipped: true, Note: "workers=8 exceeds GOMAXPROCS=4"},
+	}}
+	current := BenchReport{Results: []BenchResult{
+		// Skipped now, was measured in the baseline: no comparison.
+		{Name: "sweep/workers=4", Skipped: true, Note: "workers=4 exceeds GOMAXPROCS=1"},
+		// Measured now with what would be an allocation regression,
+		// but the baseline was skipped: nothing to gate against.
+		{Name: "sweep/workers=8", NsPerOp: 900e6, AllocsPerOp: 99999},
+	}}
+	var out strings.Builder
+	if err := compareReports(&out, baseline, current); err != nil {
+		t.Fatalf("skipped entries gated: %v", err)
+	}
+	if got := strings.Count(out.String(), "SKIP"); got != 2 {
+		t.Errorf("want 2 SKIP lines, got %d:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "exceeds GOMAXPROCS") {
+		t.Errorf("SKIP lines do not carry the skip note:\n%s", out.String())
+	}
+}

@@ -326,3 +326,60 @@ func (m *Matrix) EqualMatrix(o *Matrix) bool {
 // Bytes returns the backing storage size in bytes, for capacity
 // gating by callers deciding whether a dense matrix is affordable.
 func (m *Matrix) Bytes() int { return len(m.words) * 8 }
+
+// Stride returns the number of words backing one row. Rows returned by
+// Row have exactly this length.
+func (m *Matrix) Stride() int { return m.stride }
+
+// Row returns row r's backing words. The slice aliases the matrix:
+// callers must treat it as read-only (mutate through Set/Unset) and
+// must not hold it across a Clone. Out-of-range rows return nil.
+//
+// This is the radio engine's whole-channel resolution hook: a
+// listener's neighbor row AND a channel's broadcaster row, swept with
+// popcounts, resolves silence/sole-talker/contention without walking
+// either adjacency or broadcaster lists.
+func (m *Matrix) Row(r int) []uint64 {
+	if r < 0 || r >= m.rows {
+		return nil
+	}
+	return m.words[r*m.stride : (r+1)*m.stride : (r+1)*m.stride]
+}
+
+// EqualWords reports whether two equal-length word slices hold the
+// same bits. The radio engine compares a listener's current adjacency
+// row against its base-topology row to skip the partition-loss
+// counterfactual when nothing incident to the listener has churned.
+func EqualWords(a, b []uint64) bool {
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AndCountSole intersects two equal-length word slices and returns the
+// number of set bits in the intersection, capped at 2 (callers only
+// distinguish silence / sole talker / contention), together with the
+// bit index of the sole set bit when the count is exactly 1 (-1
+// otherwise). The sweep early-exits as soon as two bits are seen.
+func AndCountSole(a, b []uint64) (count int, sole int) {
+	sole = -1
+	for i, w := range a {
+		x := w & b[i]
+		if x == 0 {
+			continue
+		}
+		c := bits.OnesCount64(x)
+		count += c
+		if count > 1 {
+			return 2, -1
+		}
+		sole = i*wordBits + bits.TrailingZeros64(x)
+	}
+	if count != 1 {
+		sole = -1
+	}
+	return count, sole
+}

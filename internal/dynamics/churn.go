@@ -18,13 +18,20 @@ import (
 // Determinism: node u's process runs on rng.New(seed).Split(u), so
 // the whole churn trajectory is a pure function of (seed, n) —
 // independent of engine internals and identical at any worker count.
+// Waiting times between transitions are drawn directly (geometric
+// skip-ahead; see calendar.go), so a slot with no transitions costs
+// O(1) instead of n Bernoulli draws.
 type Churn struct {
 	n           int
 	pDown, pUp  float64
+	downGap     gapSampler // waiting time to failure while up
+	upGap       gapSampler // waiting time to rejoin while down
 	seed        uint64
-	streams     []*rng.Source
+	streams     []rng.Source // flat, one per node: gap draws stay cache-local
 	down        []bool
-	joins       [][]int64
+	lastJoin    []int64 // latest rejoin slot per node, -1 never
+	cal         *calendar
+	steps       int64 // internal step count — not the engine slot: one feed may span several engines
 	lastMut     radio.TopologyMutator
 	transitions int64
 }
@@ -38,21 +45,33 @@ func NewChurn(n int, pDown, pUp float64, seed uint64) (*Churn, error) {
 	if pDown < 0 || pDown > 1 || pUp < 0 || pUp > 1 {
 		return nil, fmt.Errorf("dynamics: churn probabilities must be in [0,1], got %v and %v", pDown, pUp)
 	}
-	c := &Churn{n: n, pDown: pDown, pUp: pUp, seed: seed}
+	c := &Churn{
+		n: n, pDown: pDown, pUp: pUp, seed: seed,
+		downGap: newGapSampler(pDown),
+		upGap:   newGapSampler(pUp),
+	}
 	c.reset()
 	return c, nil
 }
 
 func (c *Churn) reset() {
 	master := rng.New(c.seed)
-	c.streams = make([]*rng.Source, c.n)
-	for u := 0; u < c.n; u++ {
-		c.streams[u] = master.Split(uint64(u))
-	}
+	c.streams = make([]rng.Source, c.n)
 	c.down = make([]bool, c.n)
-	c.joins = make([][]int64, c.n)
+	c.lastJoin = make([]int64, c.n)
+	c.cal = newCalendar(c.n)
+	c.steps = 0
 	c.lastMut = nil
 	c.transitions = 0
+	for u := 0; u < c.n; u++ {
+		c.streams[u] = *master.Split(uint64(u))
+		c.lastJoin[u] = -1
+		if c.downGap.ok {
+			// A gap of g means the first success of the per-step
+			// Bernoulli sequence lands on step g-1 (steps count from 0).
+			c.cal.schedule(int32(u), c.downGap.draw(&c.streams[u])-1)
+		}
+	}
 }
 
 // NewRun implements RunScoped.
@@ -64,38 +83,51 @@ func (c *Churn) NewRun() radio.TopologyFeed {
 	return fresh
 }
 
-// Step implements radio.TopologyFeed: advance every node's chain one
-// slot and reconcile the engine's up set.
+// Step implements radio.TopologyFeed: apply the transitions due this
+// step and reconcile the engine's up set.
 func (c *Churn) Step(slot int64, mut radio.TopologyMutator) {
-	resync := mut != c.lastMut
-	c.lastMut = mut
-	for u := 0; u < c.n; u++ {
-		changed := false
-		if c.down[u] {
-			if c.streams[u].Bernoulli(c.pUp) {
-				c.down[u] = false
-				c.joins[u] = append(c.joins[u], slot)
-				changed = true
-			}
-		} else if c.streams[u].Bernoulli(c.pDown) {
-			c.down[u] = true
-			changed = true
-		}
-		if changed {
-			c.transitions++
-		}
-		if changed || resync {
+	if mut != c.lastMut {
+		// New engine (multi-stage pipeline): re-establish current state
+		// over its fresh base topology.
+		c.lastMut = mut
+		for u := 0; u < c.n; u++ {
 			mut.SetNodeUp(u, !c.down[u])
+		}
+	}
+	step := c.steps
+	c.steps++
+	for {
+		u := c.cal.peekDue(step)
+		if u < 0 {
+			return
+		}
+		goingDown := !c.down[u]
+		c.down[u] = goingDown
+		c.transitions++
+		if !goingDown {
+			c.lastJoin[u] = slot
+		}
+		mut.SetNodeUp(int(u), !goingDown)
+		// Exit sampler of the state just entered; !ok parks the node
+		// there forever.
+		exit := c.downGap
+		if goingDown {
+			exit = c.upGap
+		}
+		if exit.ok {
+			c.cal.replaceTop(step + exit.draw(&c.streams[u]))
+		} else {
+			c.cal.popTop()
 		}
 	}
 }
 
-// JoinSlots implements JoinLog.
-func (c *Churn) JoinSlots(u int) []int64 {
+// LastJoin implements JoinLog.
+func (c *Churn) LastJoin(u int) int64 {
 	if u < 0 || u >= c.n {
-		return nil
+		return -1
 	}
-	return c.joins[u]
+	return c.lastJoin[u]
 }
 
 // Transitions returns the number of up/down flips applied so far (a

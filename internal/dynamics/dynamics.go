@@ -24,8 +24,6 @@
 package dynamics
 
 import (
-	"sort"
-
 	"crn/internal/radio"
 )
 
@@ -37,14 +35,19 @@ type RunScoped interface {
 	NewRun() radio.TopologyFeed
 }
 
-// JoinLog exposes the engine slots at which nodes (re)joined after
-// being down — the raw material for re-discovery latency accounting
-// (a neighbor found after its join slot was re-discovered, and the
-// lag is the latency).
+// JoinLog exposes each node's most recent rejoin after being down —
+// the raw material for re-discovery latency accounting (a neighbor
+// first heard after it rejoined was re-discovered, and the lag from
+// the rejoin is the latency). Consumers read LastJoin *online*, at the
+// moment a pair is first heard: since joins apply before the slot
+// resolves, LastJoin at that moment is exactly the latest join at or
+// before the hearing slot. Keeping only the latest join bounds the
+// model's state — an append-only join history grew without bound over
+// long runs.
 type JoinLog interface {
-	// JoinSlots returns the slots at which node u came back up, in
-	// increasing order. The caller must not modify the slice.
-	JoinSlots(u int) []int64
+	// LastJoin returns the most recent engine slot at which node u came
+	// back up after being down, or -1 if it has never rejoined.
+	LastJoin(u int) int64
 }
 
 // composite applies several feeds in order each slot. Later feeds win
@@ -97,14 +100,15 @@ func (c *composite) NewRun() radio.TopologyFeed {
 	return &composite{feeds: fresh}
 }
 
-// JoinSlots implements JoinLog: the sorted union of member logs.
-func (c *composite) JoinSlots(u int) []int64 {
-	var out []int64
+// LastJoin implements JoinLog: the latest join across member logs.
+func (c *composite) LastJoin(u int) int64 {
+	latest := int64(-1)
 	for _, f := range c.feeds {
 		if jl, ok := f.(JoinLog); ok {
-			out = append(out, jl.JoinSlots(u)...)
+			if j := jl.LastJoin(u); j > latest {
+				latest = j
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return latest
 }

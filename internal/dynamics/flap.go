@@ -17,14 +17,21 @@ import (
 //
 // Determinism: edge i's chain runs on rng.New(seed).Split(i) with the
 // base edges in their finalized sorted order, so the trajectory is a
-// pure function of (seed, base edge list).
+// pure function of (seed, base edge list). Waiting times between flips
+// are drawn directly (geometric skip-ahead; see calendar.go), so a
+// slot with no flips costs O(1) instead of one Bernoulli draw per
+// base edge.
 type EdgeFlap struct {
 	edges          []graph.Edge
 	pDrop          float64
 	pRestore       float64
+	dropGap        gapSampler // waiting time to drop while present
+	restoreGap     gapSampler // waiting time to restore while absent
 	seed           uint64
-	streams        []*rng.Source
+	streams        []rng.Source // flat, one per edge: gap draws stay cache-local
 	absent         []bool
+	cal            *calendar
+	steps          int64 // internal step count, not the engine slot
 	lastMut        radio.TopologyMutator
 	transitionsCnt int64
 }
@@ -40,10 +47,12 @@ func NewEdgeFlap(edges []graph.Edge, pDrop, pRestore float64, seed uint64) (*Edg
 		return nil, fmt.Errorf("dynamics: flap probabilities must be in [0,1], got %v and %v", pDrop, pRestore)
 	}
 	f := &EdgeFlap{
-		edges:    append([]graph.Edge(nil), edges...),
-		pDrop:    pDrop,
-		pRestore: pRestore,
-		seed:     seed,
+		edges:      append([]graph.Edge(nil), edges...),
+		pDrop:      pDrop,
+		pRestore:   pRestore,
+		dropGap:    newGapSampler(pDrop),
+		restoreGap: newGapSampler(pRestore),
+		seed:       seed,
 	}
 	f.reset()
 	return f, nil
@@ -51,13 +60,19 @@ func NewEdgeFlap(edges []graph.Edge, pDrop, pRestore float64, seed uint64) (*Edg
 
 func (f *EdgeFlap) reset() {
 	master := rng.New(f.seed)
-	f.streams = make([]*rng.Source, len(f.edges))
-	for i := range f.edges {
-		f.streams[i] = master.Split(uint64(i))
-	}
+	f.streams = make([]rng.Source, len(f.edges))
 	f.absent = make([]bool, len(f.edges))
+	f.cal = newCalendar(len(f.edges))
+	f.steps = 0
 	f.lastMut = nil
 	f.transitionsCnt = 0
+	for i := range f.edges {
+		f.streams[i] = *master.Split(uint64(i))
+		if f.dropGap.ok {
+			// A gap of g puts the first Bernoulli success on step g-1.
+			f.cal.schedule(int32(i), f.dropGap.draw(&f.streams[i])-1)
+		}
+	}
 }
 
 // NewRun implements RunScoped.
@@ -69,32 +84,43 @@ func (f *EdgeFlap) NewRun() radio.TopologyFeed {
 	return fresh
 }
 
-// Step implements radio.TopologyFeed: advance every edge's chain one
-// slot and reconcile the engine's edge set.
+// Step implements radio.TopologyFeed: apply the flips due this step
+// and reconcile the engine's edge set.
 func (f *EdgeFlap) Step(_ int64, mut radio.TopologyMutator) {
-	resync := mut != f.lastMut
-	f.lastMut = mut
-	for i := range f.edges {
-		changed := false
-		if f.absent[i] {
-			if f.streams[i].Bernoulli(f.pRestore) {
-				f.absent[i] = false
-				changed = true
-			}
-		} else if f.streams[i].Bernoulli(f.pDrop) {
-			f.absent[i] = true
-			changed = true
-		}
-		if changed {
-			f.transitionsCnt++
-		}
-		if changed || resync {
+	if mut != f.lastMut {
+		// New engine (multi-stage pipeline): re-establish current state
+		// over its fresh base topology.
+		f.lastMut = mut
+		for i := range f.edges {
 			u, v := int(f.edges[i].U), int(f.edges[i].V)
 			if f.absent[i] {
 				mut.RemoveEdge(u, v)
 			} else {
 				mut.AddEdge(u, v)
 			}
+		}
+	}
+	step := f.steps
+	f.steps++
+	for {
+		i := f.cal.peekDue(step)
+		if i < 0 {
+			return
+		}
+		f.absent[i] = !f.absent[i]
+		f.transitionsCnt++
+		u, v := int(f.edges[i].U), int(f.edges[i].V)
+		exit := f.dropGap
+		if f.absent[i] {
+			mut.RemoveEdge(u, v)
+			exit = f.restoreGap
+		} else {
+			mut.AddEdge(u, v)
+		}
+		if exit.ok {
+			f.cal.replaceTop(step + exit.draw(&f.streams[i]))
+		} else {
+			f.cal.popTop()
 		}
 	}
 }

@@ -1,7 +1,5 @@
 package graph
 
-import "sort"
-
 // Dynamic is a mutable view of a graph for time-varying topologies:
 // node mobility and link flapping mutate the edge set between radio
 // slots, so the structure supports incremental edge insertion and
@@ -15,9 +13,10 @@ import "sort"
 // mutates its own clone) and remains available as the reference
 // topology for partition-loss accounting.
 //
-// Costs per mutation: an O(1) matrix/hash update plus an O(log Δ)
-// binary search to locate the adjacency position; the insert/delete
-// slice shift is O(Δ) of int32 moves — no re-sort, no rebuild. The
+// Costs per mutation: an O(1) matrix/hash update plus an O(Δ) scan
+// and shift of the adjacency list (Δ is small and the list is one or
+// two cache lines of int32s, so the scan beats a binary search's
+// per-probe branches) — no re-sort, no rebuild. The
 // edge list is maintained by swap-removal through an index map, so it
 // stays exact but loses the sorted order Finalize established;
 // Dynamic callers needing ordered edges must sort a copy.
@@ -133,9 +132,14 @@ func (d *Dynamic) RemoveEdge(u, v int) bool {
 }
 
 // insertSorted inserts v into the sorted slice *a (v known absent).
+// Adjacency lists are short (mean degree), so a linear position scan
+// beats sort.Search's per-probe closure calls.
 func insertSorted(a *[]int32, v int32) {
 	s := *a
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = v
@@ -145,7 +149,10 @@ func insertSorted(a *[]int32, v int32) {
 // removeSorted deletes v from the sorted slice *a (v known present).
 func removeSorted(a *[]int32, v int32) {
 	s := *a
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	i := 0
+	for s[i] != v {
+		i++
+	}
 	copy(s[i:], s[i+1:])
 	*a = s[:len(s)-1]
 }

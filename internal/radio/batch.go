@@ -1,0 +1,520 @@
+package radio
+
+import (
+	"context"
+	"fmt"
+
+	"crn/internal/bitset"
+	"crn/internal/chanassign"
+	"crn/internal/graph"
+)
+
+// Replica is one independent run inside a BatchEngine: its protocols
+// plus the per-run state that is not shared across the batch. The
+// graph and channel assignment are shared (read-only); everything a
+// run mutates or observes — protocol state, jammer state, traces,
+// stats — lives on the replica.
+type Replica struct {
+	// Protocols is the per-node protocol set (len must equal the node
+	// count).
+	Protocols []Protocol
+	// Jammer optionally models primary users for this replica; nil
+	// means clear spectrum. A Jammer that also implements ActivitySink
+	// receives this replica's per-slot activity reports.
+	Jammer Jammer
+	// Trace optionally observes this replica's deliveries.
+	Trace TraceFunc
+}
+
+// BatchEngine steps B independent replicas of the same static network
+// through one fused slot loop: one collect pass, one channel-index
+// build and one resolve pass cover every replica, so the graph, the
+// channel assignment, the adjacency matrix and all engine scratch are
+// touched once per slot instead of once per run.
+//
+// Replicas never interact: replica r's broadcasters are bucketed under
+// channel keys r·universe+ch, disjoint from every other replica's
+// keys, and its listeners resolve only against those buckets, so each
+// replica's slot outcomes — deliveries, collisions, stats, traces —
+// are byte-identical to running it alone on a sequential Engine. The
+// batched sweep path relies on exactly this equivalence.
+//
+// Batching covers the static model only: a TopologyFeed mutates its
+// engine's private graph clone, which is the one thing replicas cannot
+// share. Dynamic-topology runs use Engine.
+type BatchEngine struct {
+	g      *graph.Graph
+	assign *chanassign.Assignment
+	nbr    *bitset.Matrix
+
+	b, n, universe int
+
+	// Per-replica run state.
+	reps    []Replica
+	sinks   []ActivitySink
+	stats   []Stats
+	nDone   []int
+	doneAt  [][]int64
+	minDone []int64
+	active  []bool
+	nActive int
+
+	// Flattened per-node hot state, replica-major: node u of replica r
+	// is flat id r·n+u. Same struct-of-arrays layout as Engine.
+	kind     []Kind
+	data     []any
+	globalCh []int32 // offset channel key r·universe+ch
+	state    []uint8
+
+	// Per-slot channel index over the offset key space [0, b·universe),
+	// plus the shared bitset-row pool; see Engine for the scheme. Row
+	// bits are replica-local node ids, so a listener's adjacency row
+	// ANDs against them directly.
+	chCount   []int32
+	chHead    []int32
+	bcastNext []int32
+	touched   []int32
+	bcasters  []int32
+	rowBuf    []uint64
+	rowOf     []int32
+	rowStride int
+	rowMin    int32
+	rowsUsed  int32
+
+	slot       int64
+	scratchMsg Message
+	activity   []int
+}
+
+// NewBatchEngine constructs a fused engine over the shared (graph,
+// assignment) pair and the given replicas. The graph is finalized
+// (idempotent); every replica must provide exactly one protocol per
+// node.
+func NewBatchEngine(g *graph.Graph, assign *chanassign.Assignment, reps []Replica) (*BatchEngine, error) {
+	if g == nil || assign == nil {
+		return nil, fmt.Errorf("radio: batch engine needs both graph and assignment")
+	}
+	if g.N() != assign.N() {
+		return nil, fmt.Errorf("radio: graph has %d nodes, assignment %d", g.N(), assign.N())
+	}
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("radio: batch engine needs at least one replica")
+	}
+	g.Finalize()
+	n := g.N()
+	b := len(reps)
+	u := assign.Universe
+	for r := range reps {
+		if len(reps[r].Protocols) != n {
+			return nil, fmt.Errorf("radio: replica %d has %d protocols for %d nodes", r, len(reps[r].Protocols), n)
+		}
+	}
+	e := &BatchEngine{
+		g:         g,
+		assign:    assign,
+		nbr:       g.NeighborMatrix(),
+		b:         b,
+		n:         n,
+		universe:  u,
+		reps:      reps,
+		sinks:     make([]ActivitySink, b),
+		stats:     make([]Stats, b),
+		nDone:     make([]int, b),
+		doneAt:    make([][]int64, b),
+		minDone:   make([]int64, b),
+		active:    make([]bool, b),
+		nActive:   b,
+		kind:      make([]Kind, b*n),
+		data:      make([]any, b*n),
+		globalCh:  make([]int32, b*n),
+		state:     make([]uint8, b*n),
+		chCount:   make([]int32, b*u),
+		chHead:    make([]int32, b*u),
+		bcastNext: make([]int32, b*n),
+		touched:   make([]int32, 0, b*u),
+		bcasters:  make([]int32, 0, b*n),
+	}
+	for i := range e.chHead {
+		e.chHead[i] = -1
+	}
+	hasSink := false
+	for r := range reps {
+		e.active[r] = true
+		e.doneAt[r] = make([]int64, n)
+		e.minDone[r] = -1
+		for i, p := range reps[r].Protocols {
+			if fs, ok := p.(FixedSchedule); ok {
+				e.doneAt[r][i] = fs.MinDoneSlots()
+			}
+			if e.minDone[r] < 0 || e.doneAt[r][i] < e.minDone[r] {
+				e.minDone[r] = e.doneAt[r][i]
+			}
+		}
+		if sink, ok := reps[r].Jammer.(ActivitySink); ok {
+			e.sinks[r] = sink
+			hasSink = true
+		}
+	}
+	if hasSink {
+		e.activity = make([]int, u)
+	}
+	if e.nbr != nil {
+		// Same row economics as Engine.initChannelRows, with the pool
+		// bound summed over replicas (each replica can independently
+		// have n/rowMin dense channels in a slot).
+		e.rowStride = e.nbr.Stride()
+		e.rowMin = int32(max(2, e.rowStride/4))
+		maxRows := b * (n/int(e.rowMin) + 1)
+		if maxRows > b*u {
+			maxRows = b * u
+		}
+		e.rowBuf = make([]uint64, maxRows*e.rowStride)
+	}
+	e.rowOf = make([]int32, b*u)
+	for i := range e.rowOf {
+		e.rowOf[i] = -1
+	}
+	return e, nil
+}
+
+// Slot returns the number of slots executed so far.
+func (e *BatchEngine) Slot() int64 { return e.slot }
+
+// Stats returns replica r's counters accumulated so far.
+func (e *BatchEngine) Stats(r int) Stats { return e.stats[r] }
+
+// Run executes slots until every replica finishes (all protocols done)
+// or maxSlots elapse, returning per-replica stats.
+func (e *BatchEngine) Run(maxSlots int64) []Stats {
+	st, _ := e.RunCtx(context.Background(), maxSlots, nil)
+	return st
+}
+
+// RunCtx is Run with cooperative cancellation and an optional
+// per-replica stop predicate, mirroring Engine.RunUntilCtx: stop(r,
+// slot) is checked for each still-active replica after each slot, and
+// a replica that stops is frozen — its protocols are no longer
+// stepped, its stats no longer advance — while the rest of the batch
+// runs on. A nil ctx means context.Background().
+func (e *BatchEngine) RunCtx(ctx context.Context, maxSlots int64, stop func(r int, slot int64) bool) ([]Stats, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	n := e.n
+	for e.slot < maxSlots && e.nActive > 0 {
+		if done != nil && e.slot&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				for r := range e.stats {
+					e.stats[r].Completed = e.nDone[r] == n
+				}
+				return e.stats, ctx.Err()
+			default:
+			}
+		}
+		// Deactivate replicas whose protocols all finished, exactly
+		// where the sequential engine's loop condition would exit.
+		for r := 0; r < e.b; r++ {
+			if e.active[r] && e.nDone[r] == n {
+				e.deactivate(r)
+			}
+		}
+		if e.nActive == 0 {
+			break
+		}
+		e.step()
+		e.slot++
+		for r := 0; r < e.b; r++ {
+			if !e.active[r] {
+				continue
+			}
+			e.stats[r].Slots = e.slot
+			if stop != nil && stop(r, e.slot) {
+				e.deactivate(r)
+			}
+		}
+	}
+	for r := range e.stats {
+		e.stats[r].Completed = e.nDone[r] == n
+	}
+	return e.stats, nil
+}
+
+func (e *BatchEngine) deactivate(r int) {
+	e.active[r] = false
+	e.nActive--
+}
+
+// step runs one fused slot: collect over every active replica, one
+// index build, resolve over every active replica.
+func (e *BatchEngine) step() {
+	e.bcasters = e.bcasters[:0]
+	for r := 0; r < e.b; r++ {
+		if e.active[r] {
+			e.bcasters = e.collectReplica(r, e.bcasters)
+		}
+	}
+	e.buildIndex(e.bcasters)
+	for r := 0; r < e.b; r++ {
+		if e.active[r] {
+			e.resolveReplica(r)
+		}
+	}
+	e.feedActivity()
+	e.resetIndex()
+	for r := 0; r < e.b; r++ {
+		if e.active[r] {
+			e.refreshDone(r)
+		}
+	}
+}
+
+// collectReplica runs the collect phase for replica r, appending the
+// flat ids of its broadcasters to buf.
+func (e *BatchEngine) collectReplica(r int, buf []int32) []int32 {
+	assign := e.assign
+	slot := e.slot
+	state := e.state
+	kind := e.kind
+	data := e.data
+	globalCh := e.globalCh
+	protocols := e.reps[r].Protocols
+	base := r * e.n
+	chBase := int32(r * e.universe)
+	for u := 0; u < e.n; u++ {
+		f := base + u
+		if state[f] != nodeLive {
+			kind[f] = Idle
+			continue
+		}
+		a := protocols[u].Act(slot)
+		kind[f] = a.Kind
+		if a.Kind == Idle {
+			continue
+		}
+		globalCh[f] = chBase + assign.Global(u, a.Ch)
+		if a.Kind == Broadcast {
+			data[f] = a.Data
+			buf = append(buf, int32(f))
+		}
+	}
+	return buf
+}
+
+// buildIndex is Engine.buildIndex over the offset key space: channel
+// keys already encode the replica, and row bits are replica-local node
+// ids (flat id minus the replica base), so a listener's adjacency row
+// ANDs against its own replica's broadcasters only.
+func (e *BatchEngine) buildIndex(bcasters []int32) {
+	rowMin := e.rowMin
+	stride := e.rowStride
+	n := int32(e.n)
+	for _, f := range bcasters {
+		ch := e.globalCh[f]
+		head := e.chHead[ch]
+		if head < 0 {
+			e.touched = append(e.touched, ch)
+		}
+		e.bcastNext[f] = head
+		e.chHead[ch] = f
+		cnt := e.chCount[ch] + 1
+		e.chCount[ch] = cnt
+		if e.rowBuf == nil || cnt < rowMin {
+			continue
+		}
+		ri := e.rowOf[ch]
+		if cnt == rowMin {
+			ri = e.rowsUsed
+			e.rowsUsed++
+			e.rowOf[ch] = ri
+			row := e.rowBuf[int(ri)*stride : (int(ri)+1)*stride]
+			clear(row)
+			base := (f / n) * n
+			for v := f; v >= 0; v = e.bcastNext[v] {
+				lv := v - base
+				row[lv>>6] |= 1 << (uint(lv) & 63)
+			}
+			continue
+		}
+		lu := f % n
+		e.rowBuf[int(ri)*stride+int(lu>>6)] |= 1 << (uint(lu) & 63)
+	}
+}
+
+func (e *BatchEngine) resetIndex() {
+	for _, ch := range e.touched {
+		e.chCount[ch] = 0
+		e.chHead[ch] = -1
+		e.rowOf[ch] = -1
+	}
+	e.touched = e.touched[:0]
+	e.rowsUsed = 0
+}
+
+// resolveReplica is the resolve phase for replica r — Engine's
+// resolveAndObserve specialized to the static model, with flat-id
+// bookkeeping (channel keys and broadcaster ids carry the replica
+// offset; adjacency probes strip it).
+func (e *BatchEngine) resolveReplica(r int) {
+	g := e.g
+	jam := e.reps[r].Jammer
+	trace := e.reps[r].Trace
+	slot := e.slot
+	state := e.state
+	kind := e.kind
+	data := e.data
+	globalCh := e.globalCh
+	protocols := e.reps[r].Protocols
+	chCount := e.chCount
+	chHead := e.chHead
+	bcastNext := e.bcastNext
+	nbr := e.nbr
+	rowOf := e.rowOf
+	rowBuf := e.rowBuf
+	stride := e.rowStride
+	base := int32(r * e.n)
+	chBase := int32(r * e.universe)
+	scratch := &e.scratchMsg
+	st := &e.stats[r]
+	var idles, bcasts, listens, deliveries, collisions, jammedL int64
+	for u := 0; u < e.n; u++ {
+		f := base + int32(u)
+		if state[f] != nodeLive {
+			continue
+		}
+		switch kind[f] {
+		case Idle:
+			idles++
+			protocols[u].Observe(slot, nil)
+		case Broadcast:
+			bcasts++
+			protocols[u].Observe(slot, nil)
+		case Listen:
+			listens++
+			ch := globalCh[f]
+			realCh := ch - chBase
+			if jam != nil && jam.Jammed(slot, realCh) {
+				jammedL++
+				protocols[u].Observe(slot, nil)
+				continue
+			}
+			cnt := chCount[ch]
+			if cnt == 0 {
+				protocols[u].Observe(slot, nil)
+				continue
+			}
+			talkers := 0
+			var from int32 = -1
+			if ri := rowOf[ch]; ri >= 0 {
+				row := rowBuf[int(ri)*stride : (int(ri)+1)*stride]
+				c, sole := bitset.AndCountSole(nbr.Row(u), row)
+				talkers = c
+				from = int32(sole)
+			} else if nbrs := g.Neighbors(u); int(cnt) <= len(nbrs) {
+				for v := chHead[ch]; v >= 0; v = bcastNext[v] {
+					if e.adjacent(u, v-base) {
+						talkers++
+						if talkers > 1 {
+							break
+						}
+						from = v - base
+					}
+				}
+			} else {
+				for _, v := range nbrs {
+					if kind[base+v] == Broadcast && globalCh[base+v] == ch {
+						talkers++
+						if talkers > 1 {
+							break
+						}
+						from = v
+					}
+				}
+			}
+			switch {
+			case talkers == 1:
+				deliveries++
+				scratch.From = NodeID(from)
+				scratch.Data = data[base+from]
+				if trace != nil {
+					trace(slot, NodeID(u), realCh, scratch)
+				}
+				protocols[u].Observe(slot, scratch)
+			case talkers > 1:
+				collisions++
+				protocols[u].Observe(slot, nil)
+			default:
+				protocols[u].Observe(slot, nil)
+			}
+		default:
+			panic(fmt.Sprintf("radio: replica %d node %d returned invalid action kind %d", r, u, kind[f]))
+		}
+	}
+	st.Idles += idles
+	st.Broadcasts += bcasts
+	st.Listens += listens
+	st.Deliveries += deliveries
+	st.Collisions += collisions
+	st.JammedListens += jammedL
+}
+
+func (e *BatchEngine) adjacent(u int, v int32) bool {
+	if e.nbr != nil {
+		return e.nbr.Get(u, int(v))
+	}
+	return e.g.Adjacent(u, int(v))
+}
+
+// feedActivity reports each replica's broadcast counts to its reactive
+// jammer, replica by replica so every sink sees exactly the slice a
+// solo engine would have handed it.
+func (e *BatchEngine) feedActivity() {
+	if e.activity == nil {
+		return
+	}
+	universe := int32(e.universe)
+	for r := 0; r < e.b; r++ {
+		sink := e.sinks[r]
+		if sink == nil || !e.active[r] {
+			continue
+		}
+		lo, hi := int32(r)*universe, int32(r+1)*universe
+		for _, ch := range e.touched {
+			if ch >= lo && ch < hi {
+				e.activity[ch-lo] = int(e.chCount[ch])
+			}
+		}
+		sink.ObserveActivity(e.slot, e.activity)
+		for _, ch := range e.touched {
+			if ch >= lo && ch < hi {
+				e.activity[ch-lo] = 0
+			}
+		}
+	}
+}
+
+// refreshDone is Engine.refreshDone for replica r.
+func (e *BatchEngine) refreshDone(r int) {
+	observed := e.slot + 1
+	if observed < e.minDone[r] {
+		return
+	}
+	base := r * e.n
+	doneAt := e.doneAt[r]
+	min := int64(-1)
+	for u, p := range e.reps[r].Protocols {
+		if e.state[base+u] == nodeDone {
+			continue
+		}
+		if observed >= doneAt[u] && p.Done() {
+			e.state[base+u] = nodeDone
+			e.nDone[r]++
+			continue
+		}
+		if min < 0 || doneAt[u] < min {
+			min = doneAt[u]
+		}
+	}
+	e.minDone[r] = min
+}

@@ -67,7 +67,8 @@ type GoProtocol struct {
 
 	started  bool
 	done     bool
-	buffered *Action // next action, received ahead of Act
+	buffered Action  // next action, received ahead of Act
+	hasNext  bool    // buffered is valid
 	awaiting bool    // an Act was handed out; Observe owes a result
 	slot     int64   // slot of the outstanding action
 	msgCopy  Message // node-private copy of the last heard frame
@@ -105,8 +106,14 @@ func (p *GoProtocol) Act(slot int64) Action {
 			return Action{Kind: Idle}
 		}
 	}
-	a := *p.buffered
-	p.buffered = nil
+	if !p.hasNext {
+		// The program is mid-step without a buffered action; nothing to
+		// transmit this slot. (Unreachable with a well-formed adapter —
+		// await either buffers an action or marks done.)
+		return Action{Kind: Idle}
+	}
+	a := p.buffered
+	p.hasNext = false
 	p.awaiting = true
 	p.slot = slot
 	return a
@@ -135,11 +142,14 @@ func (p *GoProtocol) Done() bool { return p.done }
 // await blocks until the node program either issues its next action
 // (buffered for the following Act) or returns (marking the protocol
 // done). Called whenever the program is runnable: right after start
-// and right after each result delivery.
+// and right after each result delivery. The received action lands in
+// the protocol's own buffered field — taking its address would make it
+// escape and cost a heap allocation per step.
 func (p *GoProtocol) await() {
 	select {
 	case a := <-p.t.actionCh:
-		p.buffered = &a
+		p.buffered = a
+		p.hasNext = true
 	case <-p.finished:
 		p.done = true
 	}

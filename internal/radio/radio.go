@@ -308,10 +308,19 @@ type Engine struct {
 	baseG   *graph.Graph
 	baseNbr *bitset.Matrix
 
-	// scratch, reused across slots
-	actions  []Action
-	globalCh []int32 // resolved global channel per node, -1 when idle
-	done     []bool
+	// Per-slot hot state, struct-of-arrays: the collect phase writes
+	// one byte (kind), one int32 (globalCh) and — for broadcasters
+	// only — one interface word pair (data) per node, and the resolve
+	// phase reads them back with unit-stride loads instead of pulling
+	// 32-byte Action structs through the cache.
+	kind     []Kind
+	data     []any   // broadcast payload, valid only for this slot's broadcasters
+	globalCh []int32 // resolved global channel per non-idle node
+	// state[u] is the node's engine status (nodeLive/nodeDone/nodeDown),
+	// folding the old done+up pair into a single byte load on both hot
+	// loops. nodeDone dominates nodeDown: a protocol that reports Done
+	// stays done across rejoins.
+	state []uint8
 	// up[u] reports whether node u currently participates; all-true on
 	// static runs, driven by the TopologyFeed otherwise. A down node's
 	// Act and Observe are not called, so its protocol freezes on its
@@ -341,6 +350,20 @@ type Engine struct {
 	// (the pool passes per-worker segments instead).
 	bcasters []int32
 	seqSegs  [][]int32
+
+	// Channel bitset rows (nil without a dense adjacency matrix): a
+	// channel whose broadcaster count reaches rowMin gets a row of n
+	// bits from rowBuf — one bit per broadcaster — so listeners resolve
+	// the whole channel with an AND/popcount sweep against their
+	// neighbor-matrix row instead of walking broadcaster or neighbor
+	// lists. rowOf[ch] is the channel's row index this slot (-1 none);
+	// rows are cleared when (re)assigned, so resetIndex only has to
+	// reset rowOf and the row cursor.
+	rowBuf    []uint64
+	rowOf     []int32
+	rowStride int
+	rowMin    int32
+	rowsUsed  int32
 
 	// nbr is the graph's dense adjacency matrix (nil on huge graphs,
 	// where the engine binary-searches sorted adjacency instead).
@@ -375,9 +398,10 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 		nw:        nw,
 		protocols: protocols,
 		g:         nw.Graph,
-		actions:   make([]Action, n),
+		kind:      make([]Kind, n),
+		data:      make([]any, n),
 		globalCh:  make([]int32, n),
-		done:      make([]bool, n),
+		state:     make([]uint8, n),
 		up:        make([]bool, n),
 		doneAt:    make([]int64, n),
 		chCount:   make([]int32, u),
@@ -407,6 +431,7 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 		e.baseNbr = nw.Graph.NeighborMatrix()
 		e.mut = engineMutator{e}
 	}
+	e.initChannelRows(n, u)
 	e.minDoneAt = -1
 	for i, p := range protocols {
 		// FixedSchedule bounds are in observed slots; under a dynamic
@@ -429,6 +454,44 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 	return e, nil
 }
 
+// Node engine states, one byte per node on the hot loops. nodeDone
+// dominates nodeDown: Done is terminal, so a done node that rejoins
+// stays done.
+const (
+	nodeLive uint8 = iota
+	nodeDone
+	nodeDown
+)
+
+// initChannelRows sizes the channel bitset-row pool. Rows exist only
+// when the graph affords a dense adjacency matrix; a channel earns a
+// row once rowMin broadcasters land on it in a slot, and at most
+// n/rowMin channels can do that, which bounds the pool.
+func (e *Engine) initChannelRows(n, universe int) {
+	// rowOf always exists (all -1) so the resolve loop needs no nil
+	// check; rowBuf stays nil when the graph has no dense matrix, and
+	// buildIndex never claims a row then.
+	e.rowOf = make([]int32, universe)
+	for i := range e.rowOf {
+		e.rowOf[i] = -1
+	}
+	if e.nbr == nil {
+		return
+	}
+	e.rowStride = e.nbr.Stride()
+	// The walk path costs ~min(count, degree) dependent probes, the
+	// row path ~stride sequential word ops; rows start paying for
+	// themselves once a channel has a couple of broadcasters, except
+	// on huge graphs where a row sweep reads stride words per
+	// listener and the bar is proportionally higher.
+	e.rowMin = int32(max(2, e.rowStride/4))
+	maxRows := n/int(e.rowMin) + 1
+	if maxRows > universe {
+		maxRows = universe
+	}
+	e.rowBuf = make([]uint64, maxRows*e.rowStride)
+}
+
 // engineMutator is the TopologyMutator the engine hands its feed.
 type engineMutator struct{ e *Engine }
 
@@ -443,6 +506,13 @@ func (m engineMutator) SetNodeUp(u int, up bool) bool {
 		return false
 	}
 	m.e.up[u] = up
+	if m.e.state[u] != nodeDone {
+		if up {
+			m.e.state[u] = nodeLive
+		} else {
+			m.e.state[u] = nodeDown
+		}
+	}
 	if m.e.countTopo {
 		if up {
 			m.e.stats.NodeJoins++
@@ -657,25 +727,24 @@ func (e *Engine) collectActions(lo, hi int, buf []int32) []int32 {
 	// field reloads otherwise.
 	assign := e.nw.Assign
 	slot := e.slot
-	done := e.done
-	up := e.up
-	actions := e.actions
+	state := e.state
+	kind := e.kind
+	data := e.data
 	globalCh := e.globalCh
 	protocols := e.protocols
 	for u := lo; u < hi; u++ {
-		if done[u] || !up[u] {
-			actions[u] = Action{Kind: Idle}
-			globalCh[u] = -1
+		if state[u] != nodeLive {
+			kind[u] = Idle
 			continue
 		}
 		a := protocols[u].Act(slot)
-		actions[u] = a
+		kind[u] = a.Kind
 		if a.Kind == Idle {
-			globalCh[u] = -1
 			continue
 		}
 		globalCh[u] = assign.Global(u, a.Ch)
 		if a.Kind == Broadcast {
+			data[u] = a.Data
 			buf = append(buf, int32(u))
 		}
 	}
@@ -689,6 +758,8 @@ func (e *Engine) collectActions(lo, hi int, buf []int32) []int32 {
 // the collect and resolve phases, costs O(broadcasters), and
 // allocates nothing (all scratch is engine-owned and pre-sized).
 func (e *Engine) buildIndex(segs [][]int32) {
+	rowMin := e.rowMin
+	stride := e.rowStride
 	for _, seg := range segs {
 		for _, u := range seg {
 			ch := e.globalCh[u]
@@ -698,19 +769,43 @@ func (e *Engine) buildIndex(segs [][]int32) {
 			}
 			e.bcastNext[u] = head
 			e.chHead[ch] = u
-			e.chCount[ch]++
+			cnt := e.chCount[ch] + 1
+			e.chCount[ch] = cnt
+			if e.rowBuf == nil || cnt < rowMin {
+				continue
+			}
+			// Dense channel: maintain its bitset row. The first
+			// broadcaster to reach rowMin claims a row from the pool,
+			// clears it and back-fills everyone threaded so far; later
+			// broadcasters set their own bit.
+			ri := e.rowOf[ch]
+			if cnt == rowMin {
+				ri = e.rowsUsed
+				e.rowsUsed++
+				e.rowOf[ch] = ri
+				row := e.rowBuf[int(ri)*stride : (int(ri)+1)*stride]
+				clear(row)
+				for v := int32(u); v >= 0; v = e.bcastNext[v] {
+					row[v>>6] |= 1 << (uint(v) & 63)
+				}
+				continue
+			}
+			e.rowBuf[int(ri)*stride+int(u>>6)] |= 1 << (uint(u) & 63)
 		}
 	}
 }
 
 // resetIndex clears the per-slot channel index, touching only the
-// channels that were active.
+// channels that were active. Rows are cleared lazily on reassignment,
+// so only the channel→row map needs resetting here.
 func (e *Engine) resetIndex() {
 	for _, ch := range e.touched {
 		e.chCount[ch] = 0
 		e.chHead[ch] = -1
+		e.rowOf[ch] = -1
 	}
 	e.touched = e.touched[:0]
+	e.rowsUsed = 0
 }
 
 // adjacent reports whether v is a neighbor of u: the cached dense
@@ -741,39 +836,45 @@ func (e *Engine) baseAdjacent(u int, v int32) bool {
 // Observe contract limits message lifetime to the call.
 func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
 	// Hoist the hot slices into locals: the Observe interface calls
-	// force field reloads otherwise.
+	// force field reloads otherwise. Counters accumulate in locals and
+	// fold into st once at the end, so the loop body never chases the
+	// Stats pointer.
 	g := e.g
 	jam := e.nw.Jammer
 	dynamic := e.topo != nil
 	slot := e.slot
-	done := e.done
-	up := e.up
-	actions := e.actions
+	state := e.state
+	kind := e.kind
+	data := e.data
 	globalCh := e.globalCh
 	protocols := e.protocols
 	chCount := e.chCount
 	chHead := e.chHead
 	bcastNext := e.bcastNext
+	nbr := e.nbr
+	rowOf := e.rowOf
+	rowBuf := e.rowBuf
+	stride := e.rowStride
+	var idles, bcasts, listens, deliveries, collisions, jammedL, downs, plosses int64
 	for u := lo; u < hi; u++ {
-		if done[u] {
+		if state[u] != nodeLive {
+			if state[u] == nodeDown {
+				downs++
+			}
 			continue
 		}
-		if !up[u] {
-			st.DownSlots++
-			continue
-		}
-		switch actions[u].Kind {
+		switch kind[u] {
 		case Idle:
-			st.Idles++
+			idles++
 			protocols[u].Observe(slot, nil)
 		case Broadcast:
-			st.Broadcasts++
+			bcasts++
 			protocols[u].Observe(slot, nil)
 		case Listen:
-			st.Listens++
+			listens++
 			ch := globalCh[u]
 			if jam != nil && jam.Jammed(slot, ch) {
-				st.JammedListens++
+				jammedL++
 				protocols[u].Observe(slot, nil)
 				continue
 			}
@@ -783,10 +884,18 @@ func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
 				protocols[u].Observe(slot, nil)
 				continue
 			}
-			nbrs := g.Neighbors(u)
 			talkers := 0
 			var from int32 = -1
-			if int(cnt) <= len(nbrs) {
+			var row []uint64
+			if ri := rowOf[ch]; ri >= 0 {
+				// Dense channel: resolve the whole channel with one
+				// AND/popcount sweep of the listener's adjacency row
+				// against the channel's broadcaster row.
+				row = rowBuf[int(ri)*stride : (int(ri)+1)*stride]
+				c, sole := bitset.AndCountSole(nbr.Row(u), row)
+				talkers = c
+				from = int32(sole)
+			} else if nbrs := g.Neighbors(u); int(cnt) <= len(nbrs) {
 				// Walk the channel's broadcaster list (covers the
 				// sole-talker case with a single adjacency probe).
 				for v := chHead[ch]; v >= 0; v = bcastNext[v] {
@@ -802,7 +911,7 @@ func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
 				// More broadcasters on the channel than the listener has
 				// neighbors: walk the neighbor list instead.
 				for _, v := range nbrs {
-					if actions[v].Kind == Broadcast && globalCh[v] == ch {
+					if kind[v] == Broadcast && globalCh[v] == ch {
 						talkers++
 						if talkers > 1 {
 							break
@@ -811,45 +920,79 @@ func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
 					}
 				}
 			}
-			if dynamic {
+			if dynamic && !e.sameAsBase(u) {
 				// Partition-loss counterfactual: would the base (static)
 				// topology have delivered a frame this listener-slot does
-				// not deliver? Walks the same broadcaster list against
-				// base adjacency — dynamics-only cost, early exit at 2.
+				// not deliver? Resolves the same broadcaster set against
+				// base adjacency — dynamics-only cost, early exit at 2,
+				// skipped outright (sameAsBase) when nothing incident to
+				// the listener has churned, since then both resolutions
+				// are identical by construction.
 				baseTalkers := 0
 				var baseFrom int32 = -1
-				for v := chHead[ch]; v >= 0; v = bcastNext[v] {
-					if e.baseAdjacent(u, v) {
-						baseTalkers++
-						if baseTalkers > 1 {
-							break
+				if row != nil && e.baseNbr != nil {
+					baseTalkers, baseFrom = e.baseCounterfactual(u, row)
+				} else {
+					for v := chHead[ch]; v >= 0; v = bcastNext[v] {
+						if e.baseAdjacent(u, v) {
+							baseTalkers++
+							if baseTalkers > 1 {
+								break
+							}
+							baseFrom = v
 						}
-						baseFrom = v
 					}
 				}
 				if baseTalkers == 1 && (talkers != 1 || from != baseFrom) {
-					st.PartitionLosses++
+					plosses++
 				}
 			}
 			switch {
 			case talkers == 1:
-				st.Deliveries++
+				deliveries++
 				scratch.From = NodeID(from)
-				scratch.Data = actions[from].Data
+				scratch.Data = data[from]
 				if e.trace != nil {
 					e.trace(slot, NodeID(u), ch, scratch)
 				}
 				protocols[u].Observe(slot, scratch)
 			case talkers > 1:
-				st.Collisions++
+				collisions++
 				protocols[u].Observe(slot, nil)
 			default:
 				protocols[u].Observe(slot, nil)
 			}
 		default:
-			panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", u, actions[u].Kind))
+			panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", u, kind[u]))
 		}
 	}
+	st.Idles += idles
+	st.Broadcasts += bcasts
+	st.Listens += listens
+	st.Deliveries += deliveries
+	st.Collisions += collisions
+	st.JammedListens += jammedL
+	st.DownSlots += downs
+	st.PartitionLosses += plosses
+}
+
+// baseCounterfactual resolves a channel's broadcaster row against the
+// untouched base topology's adjacency row for listener u.
+func (e *Engine) baseCounterfactual(u int, row []uint64) (int, int32) {
+	c, sole := bitset.AndCountSole(e.baseNbr.Row(u), row)
+	return c, int32(sole)
+}
+
+// sameAsBase reports whether listener u's current adjacency row equals
+// its base-topology row, in which case the partition-loss
+// counterfactual cannot differ from the real resolution (same
+// broadcasters, same adjacency) and is skipped. Requires dense
+// matrices on both views; huge graphs always run the counterfactual.
+func (e *Engine) sameAsBase(u int) bool {
+	if e.nbr == nil || e.baseNbr == nil {
+		return false
+	}
+	return bitset.EqualWords(e.nbr.Row(u), e.baseNbr.Row(u))
 }
 
 // refreshDone updates completion flags after a slot resolves. At this
@@ -865,11 +1008,11 @@ func (e *Engine) refreshDone() {
 	}
 	min := int64(-1)
 	for u, p := range e.protocols {
-		if e.done[u] {
+		if e.state[u] == nodeDone {
 			continue
 		}
 		if observed >= e.doneAt[u] && p.Done() {
-			e.done[u] = true
+			e.state[u] = nodeDone
 			e.nDone++
 			continue
 		}

@@ -559,3 +559,31 @@ func BenchmarkEngineSlot(b *testing.B) {
 	b.ResetTimer()
 	e.Run(int64(b.N))
 }
+
+// BenchmarkProtocolInterfaceFloor measures the protocol side of
+// BenchmarkEngineSlot alone: Act+Observe+Done on the same 64 rng-driven
+// protocols with no engine work at all. The gap between this floor and
+// BenchmarkEngineSlot is the engine's true per-slot cost — on this
+// workload the floor is a third or more of the slot, which bounds how
+// far any kernel optimization can move the headline number.
+func BenchmarkProtocolInterfaceFloor(b *testing.B) {
+	master := rng.New(1)
+	protos := make([]Protocol, 64)
+	for i := range protos {
+		protos[i] = &randomProto{r: master.Split(uint64(i)), c: 8, slots: 1 << 30}
+	}
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range protos {
+			if a := p.Act(int64(i)); a.Kind == Broadcast {
+				sink++
+			}
+			p.Observe(int64(i), nil)
+			if p.Done() {
+				sink++
+			}
+		}
+	}
+	_ = sink
+}

@@ -42,8 +42,8 @@ func (p discoveryPrimitive) Name() string {
 	return string(p.algo)
 }
 
-func (p discoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
-	mk := func(env core.Env) (core.Discoverer, error) {
+func (p discoveryPrimitive) mk(s *Scenario) func(core.Env) (core.Discoverer, error) {
+	return func(env core.Env) (core.Discoverer, error) {
 		switch p.algo {
 		case CSeek, "":
 			return core.NewCSeek(s.p, env)
@@ -55,7 +55,16 @@ func (p discoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (
 			return nil, fmt.Errorf("crn: unknown algorithm %q", p.algo)
 		}
 	}
-	return runDiscovery(ctx, s, p.Name(), mk, nil, seed)
+}
+
+func (p discoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
+	return runDiscovery(ctx, s, p.Name(), p.mk(s), nil, seed)
+}
+
+// RunBatch implements batchRunner: the sweep engine fuses several
+// same-scenario runs into one radio.BatchEngine pass.
+func (p discoveryPrimitive) RunBatch(ctx context.Context, s *Scenario, seeds []uint64) ([]*Result, error) {
+	return runDiscoveryBatch(ctx, s, p.Name(), p.mk(s), nil, seeds)
 }
 
 // KDiscovery returns the k̂-neighbor-discovery primitive (CKSEEK,
@@ -68,9 +77,12 @@ type kDiscoveryPrimitive struct{ khat int }
 
 func (p kDiscoveryPrimitive) Name() string { return "ckseek" }
 
-func (p kDiscoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
+// khatTargets computes the per-node "good pair" target sets (neighbors
+// sharing at least k̂ channels) and the realized Δ_k̂ bound CKSEEK's
+// schedule is sized from.
+func (p kDiscoveryPrimitive) khatTargets(s *Scenario) ([]map[radio.NodeID]bool, int, error) {
 	if p.khat < s.p.K || p.khat > s.p.KMax {
-		return nil, fmt.Errorf("crn: k̂ must be in [k,kmax] = [%d,%d], got %d", s.p.K, s.p.KMax, p.khat)
+		return nil, 0, fmt.Errorf("crn: k̂ must be in [k,kmax] = [%d,%d], got %d", s.p.K, s.p.KMax, p.khat)
 	}
 	n := s.g.N()
 	targets := make([]map[radio.NodeID]bool, n)
@@ -86,117 +98,172 @@ func (p kDiscoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) 
 			deltaKhat = len(targets[u])
 		}
 	}
+	return targets, deltaKhat, nil
+}
+
+func (p kDiscoveryPrimitive) Run(ctx context.Context, s *Scenario, seed uint64) (*Result, error) {
+	targets, deltaKhat, err := p.khatTargets(s)
+	if err != nil {
+		return nil, err
+	}
 	mk := func(env core.Env) (core.Discoverer, error) {
 		return core.NewCKSeek(s.p, env, p.khat, deltaKhat)
 	}
 	return runDiscovery(ctx, s, p.Name(), mk, targets, seed)
 }
 
-// runDiscovery drives one discovery protocol instance per node until
-// the goal predicate holds or the schedule ends. When targets is nil
-// the goal is "every node knows all its graph neighbors" and pairs are
-// counted against the full neighbor universe; otherwise targets[u] is
-// the set node u must find, and pairs are counted against it.
-func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.Env) (core.Discoverer, error), targets []map[radio.NodeID]bool, seed uint64) (*Result, error) {
+// RunBatch implements batchRunner, computing the target sets once for
+// the whole batch.
+func (p kDiscoveryPrimitive) RunBatch(ctx context.Context, s *Scenario, seeds []uint64) ([]*Result, error) {
+	targets, deltaKhat, err := p.khatTargets(s)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(env core.Env) (core.Discoverer, error) {
+		return core.NewCKSeek(s.p, env, p.khat, deltaKhat)
+	}
+	return runDiscoveryBatch(ctx, s, p.Name(), mk, targets, seeds)
+}
+
+// discoveryRun is one prepared discovery run: protocols built, network
+// resolved, goal-predicate state initialized. The same preparation
+// backs both the sequential path (one Engine per run) and the batched
+// path (many runs fused into one BatchEngine pass).
+type discoveryRun struct {
+	s       *Scenario
+	name    string
+	targets []map[radio.NodeID]bool
+
+	ds     []core.Discoverer
+	protos []radio.Protocol
+	nw     *radio.Network
+
+	rediscovered       int64
+	rediscoveryLatency int64
+
+	observers   []observer
+	completedAt int64
+	unsat       int
+}
+
+// prepareDiscovery builds one run: a discoverer per node seeded from
+// the run seed, the run-scoped network, and — under a dynamic topology
+// with a join log — the delivery-trace tap for re-discovery accounting.
+func prepareDiscovery(s *Scenario, name string, mk func(core.Env) (core.Discoverer, error), targets []map[radio.NodeID]bool, seed uint64) (*discoveryRun, error) {
 	n := s.g.N()
 	master := rng.New(seed)
-	ds := make([]core.Discoverer, n)
-	protos := make([]radio.Protocol, n)
+	dr := &discoveryRun{
+		s:           s,
+		name:        name,
+		targets:     targets,
+		ds:          make([]core.Discoverer, n),
+		protos:      make([]radio.Protocol, n),
+		observers:   make([]observer, n),
+		completedAt: -1,
+	}
 	for u := 0; u < n; u++ {
 		d, err := mk(core.Env{ID: radio.NodeID(u), C: s.p.C, Rand: master.Split(uint64(u))})
 		if err != nil {
 			return nil, err
 		}
-		ds[u] = d
-		protos[u] = d
+		dr.ds[u] = d
+		dr.protos[u] = d
+		// Per-node observation lookups for the target predicate,
+		// asserted once: probing Observation(id) in the stop callback
+		// avoids the per-slot slice Discovered() would allocate in the
+		// engine's hot loop.
+		dr.observers[u], _ = d.(observer)
 	}
-	nw := s.runNetwork()
+	dr.nw = s.runNetwork()
 	// Re-discovery accounting under a dynamic topology: protocols
 	// record observations on their local clocks (frozen while down),
-	// but re-discovery latency is measured against the churn model's
-	// engine-slot join log, so tap the engine's delivery trace for the
-	// first engine slot each pair was heard in. Discovery runs on the
+	// but re-discovery latency is measured on the engine clock, so tap
+	// the engine's delivery trace and settle each pair the first engine
+	// slot it is heard in. The feed applies slot s's joins before slot s
+	// resolves, so the model's LastJoin at tap time is exactly the
+	// latest join at or before the hearing slot — the accounting is
+	// online and needs no post-run join history. Discovery runs on the
 	// sequential engine, so the trace is ordered and race-free. Feeds
 	// without a join log (pure mobility/flapping) have nothing to
 	// measure against — skip the tap and its per-delivery cost.
-	joinLog, _ := nw.Topology.(dynamics.JoinLog)
-	var firstEngineHeard []map[radio.NodeID]int64
-	if joinLog != nil {
-		firstEngineHeard = make([]map[radio.NodeID]int64, n)
-		for u := range firstEngineHeard {
-			firstEngineHeard[u] = make(map[radio.NodeID]int64)
+	if joinLog, ok := dr.nw.Topology.(dynamics.JoinLog); ok {
+		heardPairs := make([]map[radio.NodeID]bool, n)
+		for u := range heardPairs {
+			heardPairs[u] = make(map[radio.NodeID]bool)
 		}
-		prev := nw.Trace
-		nw.Trace = func(slot int64, listener radio.NodeID, ch int32, msg *radio.Message) {
-			heard := firstEngineHeard[listener]
-			if _, ok := heard[msg.From]; !ok {
-				heard[msg.From] = slot
+		prev := dr.nw.Trace
+		dr.nw.Trace = func(slot int64, listener radio.NodeID, ch int32, msg *radio.Message) {
+			heard := heardPairs[listener]
+			if !heard[msg.From] {
+				heard[msg.From] = true
+				// A pair is re-discovered when the neighbor had already
+				// gone down and rejoined by the time it was first heard;
+				// the latency runs from its latest rejoin.
+				if j := joinLog.LastJoin(int(msg.From)); j >= 0 {
+					dr.rediscovered++
+					dr.rediscoveryLatency += slot - j
+				}
 			}
 			if prev != nil {
 				prev(slot, listener, ch, msg)
 			}
 		}
 	}
-	e, err := radio.NewEngine(nw, protos)
-	if err != nil {
-		return nil, err
+	return dr, nil
+}
+
+// maxSlots is the run's slot budget: the schedule length plus one so
+// the final slot's stop check still runs inside the engine loop.
+func (dr *discoveryRun) maxSlots() int64 { return dr.ds[0].TotalSlots() + 1 }
+
+func (dr *discoveryRun) satisfied(u int) bool {
+	if dr.targets == nil {
+		return dr.ds[u].DiscoveredCount() >= dr.s.g.Degree(u)
 	}
-	// Per-node observation lookups for the target predicate, asserted
-	// once: probing Observation(id) in the stop callback avoids the
-	// per-slot slice Discovered() would allocate in the engine's hot
-	// loop.
-	observers := make([]observer, n)
-	for u := range ds {
-		observers[u], _ = ds[u].(observer)
-	}
-	completedAt := int64(-1)
-	// Discovery is monotone (a found neighbor stays found), so the
-	// stop predicate keeps a cursor at the first unsatisfied node:
-	// most slots cost one node's check instead of n, and the whole
-	// sweep over nodes is paid once per run, not once per slot.
-	unsat := 0
-	satisfied := func(u int) bool {
-		if targets == nil {
-			return ds[u].DiscoveredCount() >= s.g.Degree(u)
-		}
-		if observers[u] != nil {
-			for id := range targets[u] {
-				if observers[u].Observation(id) == nil {
-					return false
-				}
-			}
-			return true
-		}
-		found := 0
-		for _, id := range ds[u].Discovered() {
-			if targets[u][id] {
-				found++
-			}
-		}
-		return found >= len(targets[u])
-	}
-	stop := func(slot int64) bool {
-		for ; unsat < n; unsat++ {
-			if !satisfied(unsat) {
+	if dr.observers[u] != nil {
+		for id := range dr.targets[u] {
+			if dr.observers[u].Observation(id) == nil {
 				return false
 			}
 		}
-		completedAt = slot
 		return true
 	}
-	st, err := e.RunUntilCtx(ctx, ds[0].TotalSlots()+1, stop)
-	if err != nil {
-		return nil, err
+	found := 0
+	for _, id := range dr.ds[u].Discovered() {
+		if dr.targets[u][id] {
+			found++
+		}
 	}
+	return found >= len(dr.targets[u])
+}
 
+// stop is the engine stop predicate. Discovery is monotone (a found
+// neighbor stays found), so it keeps a cursor at the first unsatisfied
+// node: most slots cost one node's check instead of n, and the whole
+// sweep over nodes is paid once per run, not once per slot.
+func (dr *discoveryRun) stop(slot int64) bool {
+	n := len(dr.ds)
+	for ; dr.unsat < n; dr.unsat++ {
+		if !dr.satisfied(dr.unsat) {
+			return false
+		}
+	}
+	dr.completedAt = slot
+	return true
+}
+
+// finish assembles the Result envelope from the run's end state and
+// the engine's stats.
+func (dr *discoveryRun) finish(st radio.Stats) *Result {
+	s, n := dr.s, len(dr.ds)
 	det := &DiscoveryDetail{
-		Algorithm:  name,
+		Algorithm:  dr.name,
 		Neighbors:  make([][]int, n),
 		FirstHeard: make([][]int64, n),
 	}
 	for u := 0; u < n; u++ {
 		found := make(map[radio.NodeID]bool)
-		discovered := ds[u].Discovered()
+		discovered := dr.ds[u].Discovered()
 		// Discovered() carries no order guarantee (it drains a map);
 		// sort so Results — and therefore sweep runs — are reproducible
 		// byte for byte.
@@ -204,9 +271,9 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 		for _, id := range discovered {
 			found[id] = true
 			det.Neighbors[u] = append(det.Neighbors[u], int(id))
-			det.FirstHeard[u] = append(det.FirstHeard[u], firstHeardSlot(ds[u], id))
+			det.FirstHeard[u] = append(det.FirstHeard[u], firstHeardSlot(dr.ds[u], id))
 		}
-		if targets == nil {
+		if dr.targets == nil {
 			det.PairsTotal += s.g.Degree(u)
 			for _, v := range s.g.Neighbors(u) {
 				if found[radio.NodeID(v)] {
@@ -216,7 +283,7 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 			continue
 		}
 		for _, v := range s.g.Neighbors(u) {
-			if !targets[u][radio.NodeID(v)] {
+			if !dr.targets[u][radio.NodeID(v)] {
 				continue
 			}
 			det.PairsTotal++
@@ -226,35 +293,89 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 		}
 	}
 	res := &Result{
-		Primitive:       name,
-		ScheduleSlots:   ds[0].TotalSlots(),
-		CompletedAtSlot: completedAt,
-		Completed:       completedAt >= 0,
+		Primitive:       dr.name,
+		ScheduleSlots:   dr.ds[0].TotalSlots(),
+		CompletedAtSlot: dr.completedAt,
+		Completed:       dr.completedAt >= 0,
 		Discovery:       det,
 		Spectrum:        spectrumDetail(st),
 	}
-	if nw.Topology != nil {
+	if dr.nw.Topology != nil {
 		top := topologyDetail(st)
-		for u := 0; joinLog != nil && u < n; u++ {
-			for id, slot := range firstEngineHeard[u] {
-				// A pair is re-discovered when the neighbor had already
-				// gone down and rejoined by the time it was first heard;
-				// the latency runs from its latest rejoin.
-				var latest int64 = -1
-				for _, j := range joinLog.JoinSlots(int(id)) {
-					if j <= slot && j > latest {
-						latest = j
-					}
-				}
-				if latest >= 0 {
-					top.RediscoveredPairs++
-					top.RediscoveryLatencyTotal += slot - latest
-				}
-			}
-		}
+		top.RediscoveredPairs = int(dr.rediscovered)
+		top.RediscoveryLatencyTotal = dr.rediscoveryLatency
 		res.Topology = top
 	}
-	return res, nil
+	return res
+}
+
+// runDiscovery drives one discovery protocol instance per node until
+// the goal predicate holds or the schedule ends. When targets is nil
+// the goal is "every node knows all its graph neighbors" and pairs are
+// counted against the full neighbor universe; otherwise targets[u] is
+// the set node u must find, and pairs are counted against it.
+func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.Env) (core.Discoverer, error), targets []map[radio.NodeID]bool, seed uint64) (*Result, error) {
+	dr, err := prepareDiscovery(s, name, mk, targets, seed)
+	if err != nil {
+		return nil, err
+	}
+	e, err := radio.NewEngine(dr.nw, dr.protos)
+	if err != nil {
+		return nil, err
+	}
+	st, err := e.RunUntilCtx(ctx, dr.maxSlots(), dr.stop)
+	if err != nil {
+		return nil, err
+	}
+	return dr.finish(st), nil
+}
+
+// runDiscoveryBatch executes one discovery run per seed over the same
+// scenario through a single radio.BatchEngine pass: the graph,
+// assignment and engine scratch are shared across the batch, and every
+// run's outcome is byte-identical to runDiscovery with the same seed
+// (the batch engine's replica-isolation guarantee).
+//
+// Batching covers the static model only — a dynamic topology mutates
+// an engine-private graph clone, the one thing replicas cannot share —
+// so dynamic scenarios fall back to sequential runs, preserving the
+// byte-identity contract either way.
+func runDiscoveryBatch(ctx context.Context, s *Scenario, name string, mk func(core.Env) (core.Discoverer, error), targets []map[radio.NodeID]bool, seeds []uint64) ([]*Result, error) {
+	results := make([]*Result, len(seeds))
+	if s.topo != nil || len(seeds) == 1 {
+		for i, seed := range seeds {
+			res, err := runDiscovery(ctx, s, name, mk, targets, seed)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	drs := make([]*discoveryRun, len(seeds))
+	reps := make([]radio.Replica, len(seeds))
+	for i, seed := range seeds {
+		dr, err := prepareDiscovery(s, name, mk, targets, seed)
+		if err != nil {
+			return nil, err
+		}
+		drs[i] = dr
+		reps[i] = radio.Replica{Protocols: dr.protos, Jammer: dr.nw.Jammer, Trace: dr.nw.Trace}
+	}
+	be, err := radio.NewBatchEngine(s.g, s.a, reps)
+	if err != nil {
+		return nil, err
+	}
+	sts, err := be.RunCtx(ctx, drs[0].maxSlots(), func(r int, slot int64) bool {
+		return drs[r].stop(slot)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, dr := range drs {
+		results[i] = dr.finish(sts[i])
+	}
+	return results, nil
 }
 
 // topologyDetail maps engine counters into the Result envelope's

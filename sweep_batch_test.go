@@ -1,0 +1,102 @@
+package crn_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"crn"
+)
+
+// batchSpec is a sweep over mixed variants chosen to exercise every
+// batched-execution path: a plain static variant, a static variant
+// with a run-scoped reactive adversary (per-replica ActivitySink), and
+// a dynamic-topology variant that must fall back to sequential runs.
+func batchSpec(primitive crn.Primitive, workers, batch int) crn.SweepSpec {
+	return crn.SweepSpec{
+		Primitive: primitive,
+		Variants: []crn.Variant{
+			{Name: "static", Options: []crn.ScenarioOption{
+				crn.WithTopology(crn.GNP), crn.WithNodes(16), crn.WithDensity(0.3),
+				crn.WithChannels(4, 2, 0), crn.WithSeed(11),
+			}},
+			{Name: "adversary", Options: []crn.ScenarioOption{
+				crn.WithTopology(crn.GNP), crn.WithNodes(14), crn.WithDensity(0.35),
+				crn.WithChannels(4, 2, 0), crn.WithSeed(12), crn.WithAdversary(1),
+			}},
+			{Name: "churn", Options: []crn.ScenarioOption{
+				crn.WithTopology(crn.GNP), crn.WithNodes(12), crn.WithDensity(0.4),
+				crn.WithChannels(3, 2, 0), crn.WithSeed(13), crn.WithChurn(0.002, 0.05, 9),
+			}},
+		},
+		Seeds:       6,
+		BaseSeed:    99,
+		Workers:     workers,
+		Batch:       batch,
+		KeepResults: true,
+	}
+}
+
+// TestSweepBatchByteIdentical is the batched sweep's contract: for any
+// worker count, Batch > 1 produces byte-identical runs and aggregates
+// to the unbatched sweep (which is itself worker-count invariant).
+func TestSweepBatchByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	for _, prim := range []crn.Primitive{crn.Discovery(crn.CSeek), crn.KDiscovery(2)} {
+		t.Run(prim.Name(), func(t *testing.T) {
+			baseline, err := crn.Sweep(ctx, batchSpec(prim, 1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(baseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				for _, batch := range []int{2, 4, 8} {
+					res, err := crn.Sweep(ctx, batchSpec(prim, workers, batch))
+					if err != nil {
+						t.Fatalf("workers=%d batch=%d: %v", workers, batch, err)
+					}
+					got, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("workers=%d batch=%d diverged from sequential baseline", workers, batch)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSweepBatchNonBatchingPrimitive: a primitive without RunBatch
+// silently runs unbatched — Batch is advisory, never an error.
+func TestSweepBatchNonBatchingPrimitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	spec := crn.SweepSpec{
+		Primitive: crn.Flooding(0, "m"),
+		Variants: []crn.Variant{{Name: "g", Options: []crn.ScenarioOption{
+			crn.WithTopology(crn.GNP), crn.WithNodes(10), crn.WithDensity(0.4),
+			crn.WithChannels(3, 2, 0), crn.WithSeed(5),
+		}}},
+		Seeds:    3,
+		BaseSeed: 4,
+		Batch:    4,
+	}
+	res, err := crn.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range res.Runs {
+		if run.Err != "" {
+			t.Errorf("run (%s, %d) failed: %s", run.Variant, run.Index, run.Err)
+		}
+	}
+}
