@@ -169,8 +169,12 @@ func cmdRun(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	a, err := sweepfile.NewArtifact(m.PlanHash, res)
+	if err != nil {
+		return err
+	}
 	path := filepath.Join(dir, m.Artifacts[*shard])
-	if err := sweepfile.WriteJSON(path, &sweepfile.Artifact{PlanHash: m.PlanHash, Result: res}); err != nil {
+	if err := sweepfile.WriteJSON(path, a); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "shard %d: %d runs → %s\n", *shard, len(res.Runs), path)
@@ -248,6 +252,13 @@ func cmdResume(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A crash between temp-write and rename leaves `.tmp-` debris; sweep
+	// it before validating so a half-written artifact can't linger.
+	if removed, err := sweepfile.RemoveStaleTemps(sweepfile.OS, dir); err != nil {
+		return err
+	} else if len(removed) > 0 {
+		fmt.Fprintf(w, "swept %d stale temp file(s) from %s\n", len(removed), dir)
+	}
 	results := make([]*crn.ShardResult, len(m.Plan.Shards))
 	for k := range results {
 		if res, err := sweepfile.LoadArtifact(m, dir, k); err == nil {
@@ -263,7 +274,11 @@ func cmdResume(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("resume: shard %d: %w", k, err)
 		}
-		if err := sweepfile.WriteJSON(filepath.Join(dir, m.Artifacts[k]), &sweepfile.Artifact{PlanHash: m.PlanHash, Result: res}); err != nil {
+		a, err := sweepfile.NewArtifact(m.PlanHash, res)
+		if err != nil {
+			return err
+		}
+		if err := sweepfile.WriteJSON(filepath.Join(dir, m.Artifacts[k]), a); err != nil {
 			return err
 		}
 		results[k] = res

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"crn/internal/chaos"
 	"crn/internal/sweepd"
 	"crn/internal/sweepfile"
 )
@@ -49,11 +51,11 @@ func main() {
 	}
 }
 
-const usage = `usage: crnsweepd <serve|worker|submit|status|result|wait> [flags]
+const usage = `usage: crnsweepd <serve|worker|submit|status|result|wait|chaos> [flags]
 
-  serve  -spool <dir> [-addr host:port] [-lease d] [-maxattempts n]
+  serve  -spool <dir> [-addr host:port] [-lease d] [-maxattempts n] [-maxinflight n] [-draintimeout d]
          run the orchestrator daemon (restart on the same -spool resumes jobs)
-  worker -connect <addr> [-name s] [-workers n] [-poll d] [-maxshards n]
+  worker -connect <addr> [-name s] [-workers n] [-poll d] [-pollmax d] [-maxshards n]
          run a worker: lease shards, execute, upload artifacts, heartbeat
   submit -connect <addr> -spec <file> [-shards k]
          queue a sweep; prints the job id
@@ -63,6 +65,9 @@ const usage = `usage: crnsweepd <serve|worker|submit|status|result|wait> [flags]
          fetch a finished job's merged result (verbatim bytes)
   wait   -connect <addr> -job <id> [-out file] [-poll d]
          block until the job finishes, then fetch the result
+  chaos  [-spec file] [-seeds n] [-seedbase n] [-shards k] [-workers n] [-parallel n] [-golden file] [-v]
+         run the two-worker service matrix under n seeded fault schedules and
+         byte-diff every surviving result against the single-process sweep
 `
 
 func run(ctx context.Context, args []string, w io.Writer) error {
@@ -83,6 +88,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return cmdResult(ctx, rest, w)
 	case "wait":
 		return cmdWait(ctx, rest, w)
+	case "chaos":
+		return cmdChaos(ctx, rest, w)
 	case "help", "-h", "-help", "--help":
 		fmt.Fprint(w, usage)
 		return nil
@@ -99,6 +106,8 @@ func cmdServe(ctx context.Context, args []string, w io.Writer) error {
 		spool       = fs.String("spool", "", "job spool directory (required)")
 		leaseTTL    = fs.Duration("lease", 60*time.Second, "shard lease TTL; expired leases are re-dispatched")
 		maxAttempts = fs.Int("maxattempts", 5, "lease attempts per shard before the job fails")
+		maxInflight = fs.Int("maxinflight", 64, "concurrent requests before shedding 429s (0: unbounded)")
+		drain       = fs.Duration("draintimeout", 10*time.Second, "on SIGTERM, wait up to this long for in-flight uploads to finish")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +120,7 @@ func cmdServe(ctx context.Context, args []string, w io.Writer) error {
 		Spool:       *spool,
 		LeaseTTL:    *leaseTTL,
 		MaxAttempts: *maxAttempts,
+		MaxInflight: *maxInflight,
 		Log:         logger,
 	})
 	if err != nil {
@@ -132,8 +142,12 @@ func cmdServe(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("sweepd: signal received, draining")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful drain: http.Server.Shutdown stops accepting and waits
+	// for in-flight requests — artifact uploads mid-POST included — so
+	// a SIGTERM never drops a shard a worker already finished. The
+	// bound keeps a wedged connection from holding the process hostage.
+	logger.Printf("sweepd: signal received, draining in-flight uploads (up to %v)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return err
@@ -152,7 +166,8 @@ func cmdWorker(ctx context.Context, args []string, w io.Writer) error {
 		connect   = fs.String("connect", "", "daemon address (required)")
 		name      = fs.String("name", "", "worker name (default: host-pid)")
 		workers   = fs.Int("workers", 0, "per-shard simulation pool size (0: GOMAXPROCS); never affects bytes")
-		poll      = fs.Duration("poll", 200*time.Millisecond, "idle re-poll interval")
+		poll      = fs.Duration("poll", 200*time.Millisecond, "idle re-poll base interval (backs off exponentially with jitter)")
+		pollMax   = fs.Duration("pollmax", 0, "idle re-poll backoff cap (0: 20×poll)")
 		maxShards = fs.Int("maxshards", 0, "exit after completing n shards (0: run until signalled)")
 		abandon   = fs.Int("abandon", 0, "exit after acquiring the nth lease without completing it (straggler simulation)")
 	)
@@ -178,6 +193,7 @@ func cmdWorker(ctx context.Context, args []string, w io.Writer) error {
 		Name:         *name,
 		Workers:      *workers,
 		Poll:         *poll,
+		PollMax:      *pollMax,
 		MaxShards:    *maxShards,
 		AbandonAfter: *abandon,
 		Log:          log.New(os.Stderr, "", log.LstdFlags),
@@ -302,6 +318,121 @@ func cmdResult(ctx context.Context, args []string, w io.Writer) error {
 		return fmt.Errorf("result: -connect and -job are required")
 	}
 	return fetchResult(ctx, sweepd.NewClient(*connect), *jobID, *out, w)
+}
+
+// chaosDefaultSpec is the sweep the chaos matrix runs when no -spec is
+// given: small enough that one shard takes well under a lease TTL, two
+// variants so merge ordering is exercised.
+func chaosDefaultSpec() *sweepfile.Spec {
+	return &sweepfile.Spec{
+		Primitive: "cseek",
+		Seeds:     4,
+		BaseSeed:  42,
+		Variants: []sweepfile.Variant{
+			{Name: "quiet-path", Topology: "path", N: 6, Channels: 3, K: 2, Seed: 1},
+			{Name: "busy-star", Topology: "star", N: 8, Channels: 4, K: 2, Seed: 2, Preset: "urban-busy"},
+		},
+	}
+}
+
+func cmdChaos(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("crnsweepd chaos", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		specPath = fs.String("spec", "", "sweep spec file (default: a built-in two-variant spec)")
+		seeds    = fs.Int("seeds", 32, "fault-schedule seeds to run")
+		seedBase = fs.Uint64("seedbase", 1, "first chaos seed (schedules are seedbase..seedbase+seeds-1)")
+		shards   = fs.Int("shards", 4, "shards per job")
+		workers  = fs.Int("workers", 2, "worker slots per run")
+		lease    = fs.Duration("lease", 1500*time.Millisecond, "daemon lease TTL under test")
+		timeout  = fs.Duration("timeout", 60*time.Second, "per-seed run timeout")
+		parallel = fs.Int("parallel", 0, "seeds in flight at once (0: min(4, NumCPU))")
+		golden   = fs.String("golden", "", "byte-diff the reference sweep against this file first")
+		verbose  = fs.Bool("v", false, "narrate injected faults and per-seed progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds <= 0 {
+		return fmt.Errorf("chaos: -seeds must be positive")
+	}
+	sf := chaosDefaultSpec()
+	if *specPath != "" {
+		var err error
+		if sf, err = sweepfile.LoadSpec(*specPath); err != nil {
+			return err
+		}
+	}
+	var logger *log.Logger
+	if *verbose {
+		logger = log.New(os.Stderr, "chaos: ", 0)
+	}
+	// Pin the ground truth before injecting anything: the reference is
+	// the in-process sweep, and -golden lets CI assert that reference
+	// itself matches a committed file, so a drifting encoder can't hide
+	// behind a self-consistent matrix.
+	if *golden != "" {
+		want, err := os.ReadFile(*golden)
+		if err != nil {
+			return err
+		}
+		ref, err := chaos.Reference(ctx, sf)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(ref, want) {
+			return fmt.Errorf("chaos: reference sweep diverged from golden %s (%d bytes vs %d)", *golden, len(ref), len(want))
+		}
+		fmt.Fprintf(w, "reference matches golden %s (%d bytes)\n", *golden, len(want))
+	}
+
+	results, err := chaos.RunMatrix(ctx, chaos.MatrixConfig{
+		Spec:     sf,
+		Shards:   *shards,
+		Workers:  *workers,
+		SeedBase: *seedBase,
+		Seeds:    *seeds,
+		LeaseTTL: *lease,
+		Timeout:  *timeout,
+		Parallel: *parallel,
+		Log:      logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	completed, failed := 0, 0
+	for i := range results {
+		r := &results[i]
+		verdict := "ok"
+		switch {
+		case !r.OK():
+			verdict = "FAIL"
+			failed++
+		case !r.Completed:
+			verdict = "timeout" // chaos won this round; contract still held
+		}
+		if r.Completed {
+			completed++
+		}
+		line := fmt.Sprintf("seed %-4d %-7s acked=%d lost=%d", r.Seed, verdict, r.Acked, r.AckedLost)
+		if r.Restarted {
+			line += " restarted"
+		}
+		if r.Err != "" {
+			line += "  (" + r.Err + ")"
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "chaos: %d/%d seeds completed byte-identical, %d contract violations\n",
+		completed, len(results), failed)
+	if failed > 0 {
+		return fmt.Errorf("chaos: %d seed(s) violated the byte-identity/no-lost-ack contract", failed)
+	}
+	if completed == 0 {
+		return fmt.Errorf("chaos: no seed completed its run — hardening regressed, not chaos winning")
+	}
+	return nil
 }
 
 func cmdWait(ctx context.Context, args []string, w io.Writer) error {

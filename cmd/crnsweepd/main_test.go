@@ -2,16 +2,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"crn"
 	"crn/internal/sweepd"
+	"crn/internal/sweepfile"
 )
 
 func TestCLIValidation(t *testing.T) {
@@ -26,6 +31,9 @@ func TestCLIValidation(t *testing.T) {
 		{"status"},                            // missing -connect
 		{"result", "-connect", "127.0.0.1:1"}, // missing -job
 		{"wait", "-connect", "127.0.0.1:1"},   // missing -job
+		{"chaos", "-seeds", "0"},              // nothing to run
+		{"chaos", "-spec", "no-such-spec.json"},
+		{"chaos", "-golden", "no-such-golden.json"},
 	}
 	for _, args := range bad {
 		if err := run(ctx, args, io.Discard); err == nil {
@@ -59,6 +67,189 @@ func TestServeShutsDownGracefully(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "stopped cleanly") {
 		t.Errorf("serve output missing graceful-shutdown marker:\n%s", out.String())
+	}
+}
+
+// syncBuf is a strings.Builder safe to read while serve writes to it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeDrainLosesNoAckedShard: a SIGTERM that lands while an
+// artifact upload is mid-POST must not lose the shard — serve's drain
+// (-draintimeout) holds the door until the in-flight Complete is
+// processed and acked, and the acked artifact is on disk afterwards.
+func TestServeDrainLosesNoAckedShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	spool := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-spool", spool, "-draintimeout", "5s"}, &out)
+	}()
+	// Parse the listen address from serve's banner.
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); addr == ""; {
+		if s := out.String(); strings.Contains(s, "serving on ") {
+			rest := s[strings.Index(s, "serving on ")+len("serving on "):]
+			addr = rest[:strings.IndexByte(rest, ' ')]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("serve never came up:\n%s", out.String())
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	c := sweepd.NewClient(addr)
+	if err := c.WaitReady(ctx, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := sweepfile.LoadSpec(filepath.Join("..", "crnsweep", "testdata", "spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(ctx, sf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := c.Acquire(ctx, "drainer")
+	if err != nil || grant == nil {
+		t.Fatalf("acquire: grant=%v err=%v", grant, err)
+	}
+	spec, err := sweepfile.BuildSweepSpec(grant.Manifest.Spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crn.RunShard(ctx, spec, grant.Manifest.Plan, grant.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sweepfile.NewArtifact(grant.Manifest.PlanHash, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(&sweepd.CompleteRequest{Artifact: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Upload the artifact with a body that stalls halfway so the
+	// request is provably in flight when the shutdown signal lands.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", "http://"+addr+"/api/v1/leases/"+grant.Lease+"/complete", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.ContentLength = int64(len(payload))
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		resp.Body.Close()
+		respc <- resp
+	}()
+	if _, err := pw.Write(payload[:len(payload)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // handler is blocked reading the body
+	cancel()                           // the SIGTERM path: serve starts draining
+	time.Sleep(150 * time.Millisecond) // drain overlaps the stalled upload
+	if _, err := pw.Write(payload[len(payload)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	select {
+	case resp := <-respc:
+		if resp.StatusCode/100 != 2 {
+			t.Fatalf("in-flight complete rejected during drain: http %d", resp.StatusCode)
+		}
+	case err := <-errc:
+		t.Fatalf("in-flight complete failed during drain: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight complete never finished")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "stopped cleanly") {
+		t.Errorf("serve output missing graceful-shutdown marker:\n%s", out.String())
+	}
+
+	// The acked shard survived the shutdown: its artifact validates on
+	// disk, and — being the job's last shard — the merge landed too,
+	// byte-identical to the committed in-process golden.
+	dir := filepath.Join(spool, "jobs", id)
+	m, _, err := sweepfile.LoadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweepfile.LoadArtifact(m, dir, grant.Shard); err != nil {
+		t.Fatalf("acked artifact lost to shutdown: %v", err)
+	}
+	merged, err := os.ReadFile(filepath.Join(dir, "merged.json"))
+	if err != nil {
+		t.Fatalf("acked final shard did not merge before shutdown: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "crnsweep", "testdata", "golden", "merged.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(merged) != string(want) {
+		t.Error("drained merge diverged from the committed golden merged output")
+	}
+}
+
+// TestChaosCLISmoke: the chaos verb end to end — golden pre-check plus
+// a small matrix — exercising the same path CI's wide run takes.
+func TestChaosCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations under fault injection")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"chaos",
+		"-spec", filepath.Join("..", "crnsweep", "testdata", "spec.json"),
+		"-golden", filepath.Join("..", "crnsweep", "testdata", "golden", "merged.json"),
+		"-seeds", "2", "-seedbase", "2", "-shards", "2", "-timeout", "60s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("chaos: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "reference matches golden") {
+		t.Errorf("golden pre-check missing from output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 contract violations") {
+		t.Errorf("summary missing from output:\n%s", out.String())
+	}
+	// A golden that is NOT the reference bytes must refuse up front.
+	if err := run(ctx, []string{"chaos",
+		"-spec", filepath.Join("..", "crnsweep", "testdata", "spec.json"),
+		"-golden", filepath.Join("..", "crnsweep", "testdata", "spec.json"),
+		"-seeds", "1"}, io.Discard); err == nil || !strings.Contains(err.Error(), "golden") {
+		t.Errorf("mismatched golden accepted: %v", err)
 	}
 }
 

@@ -1,0 +1,303 @@
+// Package chaos is a deterministic, seed-driven fault injector for
+// the distributed sweep stack. It mirrors the source paper's threat
+// model: there, a protocol must deliver its guarantees under a
+// t-bounded adversary that disrupts a budgeted number of (node,
+// channel) pairs per round; here, the sweep service must deliver
+// byte-identical results under a budgeted number of transport,
+// storage and process faults per run. Both contracts are "correct
+// under a disruption budget", and both are checked the same way —
+// the output bytes must not depend on what the adversary did.
+//
+// A chaos Spec declares fault budgets per boundary the way
+// spectrum.Compose declares disruption models: small declarative
+// pieces stacked into one plan. NewPlan compiles the spec into
+// pre-drawn fault schedules, one rng.Split stream per boundary, so
+// the schedule is a pure function of the seed: which events fault,
+// with what, in what order, is decided before the run starts and is
+// identical on every replay of that seed. (Which *request* lands on
+// which event index depends on goroutine interleaving — the schedule
+// is deterministic, the race that maps traffic onto it is real, which
+// is exactly the point.)
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"crn/internal/rng"
+)
+
+// Fault kinds, by boundary.
+const (
+	// Transport (client-side RoundTripper).
+	FaultDropRequest = "drop-request" // connection reset before the daemon sees it
+	FaultDropReply   = "drop-reply"   // daemon processed it, reply lost in transit
+	FaultDuplicate   = "duplicate"    // request delivered twice
+	FaultDelay       = "delay"        // response delayed
+
+	// Server (mux middleware).
+	FaultError500 = "error-500" // 5xx before the handler runs
+	FaultShed429  = "shed-429"  // overload shed with Retry-After
+
+	// Storage writes (FS seam).
+	FaultWriteErr = "write-error" // fsync-style failure, temp debris left behind
+	FaultTorn     = "torn-write"  // truncated bytes land, success reported
+
+	// Storage reads (FS seam).
+	FaultCorrupt = "corrupt-read" // one bit flipped in the returned bytes
+	FaultReadErr = "read-error"   // read fails outright
+)
+
+// Budget is one fault kind's allowance — the t in t-bounded.
+type Budget struct {
+	Kind  string
+	Count int
+}
+
+// Spec declares a chaos run: a seed and per-boundary budgets with the
+// per-event probability that a fault fires at all. The zero Spec
+// injects nothing.
+type Spec struct {
+	Seed uint64
+
+	// TransportRate is the per-request probability of attempting a
+	// transport fault (spent against Transport budgets).
+	TransportRate float64
+	Transport     []Budget
+	// MaxDelay bounds FaultDelay injections.
+	MaxDelay time.Duration
+
+	// ServerRate / Server: mux middleware faults on the lease paths.
+	ServerRate float64
+	Server     []Budget
+
+	// WriteRate / Writes and ReadRate / Reads: spool filesystem faults.
+	WriteRate float64
+	Writes    []Budget
+	ReadRate  float64
+	Reads     []Budget
+
+	// MaxWorkerAbandons bounds how many worker slots are scheduled to
+	// die mid-shard (abandoning their lease without a word).
+	MaxWorkerAbandons int
+	// RestartProb is the probability the daemon is killed and
+	// restarted mid-run (after a scheduled number of completed shards).
+	RestartProb float64
+}
+
+// DefaultSpec is the standard chaos diet for the service matrix:
+// every boundary armed, budgets small enough that runs complete,
+// rates high enough that budgets are actually spent.
+func DefaultSpec(seed uint64) Spec {
+	return Spec{
+		Seed:          seed,
+		TransportRate: 0.15,
+		Transport: []Budget{
+			{FaultDropRequest, 2}, {FaultDropReply, 2},
+			{FaultDuplicate, 2}, {FaultDelay, 3},
+		},
+		MaxDelay:   100 * time.Millisecond,
+		ServerRate: 0.12,
+		Server:     []Budget{{FaultError500, 3}, {FaultShed429, 3}},
+		WriteRate:  0.20,
+		Writes:     []Budget{{FaultWriteErr, 2}, {FaultTorn, 2}},
+		ReadRate:   0.10,
+		Reads:      []Budget{{FaultCorrupt, 2}, {FaultReadErr, 1}},
+
+		MaxWorkerAbandons: 1,
+		RestartProb:       0.4,
+	}
+}
+
+// scheduleHorizon is how many events per boundary get a pre-drawn
+// verdict; events past it never fault (budgets run out far earlier).
+const scheduleHorizon = 4096
+
+// Schedule is one boundary's pre-drawn fault timetable: event index →
+// fault kind. Injectors call take() once per event (request, write,
+// read); the mapping from live traffic to event indices is
+// first-come-first-served.
+type Schedule struct {
+	mu       sync.Mutex
+	next     int
+	faults   map[int]string
+	delays   map[int]time.Duration
+	injected map[string]int
+}
+
+func buildSchedule(src *rng.Source, rate float64, budgets []Budget, maxDelay time.Duration) *Schedule {
+	s := &Schedule{
+		faults:   make(map[int]string),
+		delays:   make(map[int]time.Duration),
+		injected: make(map[string]int),
+	}
+	remaining := make(map[string]int, len(budgets))
+	order := make([]string, 0, len(budgets))
+	total := 0
+	for _, b := range budgets {
+		remaining[b.Kind] = b.Count
+		order = append(order, b.Kind)
+		total += b.Count
+	}
+	var avail []string
+	for i := 0; i < scheduleHorizon && total > 0; i++ {
+		if !src.Bernoulli(rate) {
+			continue
+		}
+		avail = avail[:0]
+		for _, k := range order {
+			if remaining[k] > 0 {
+				avail = append(avail, k)
+			}
+		}
+		kind := avail[src.Intn(len(avail))]
+		remaining[kind]--
+		total--
+		s.faults[i] = kind
+		if kind == FaultDelay && maxDelay > 0 {
+			s.delays[i] = time.Duration(src.Intn(int(maxDelay)))
+		}
+	}
+	return s
+}
+
+// take advances the event counter and returns the fault (if any)
+// scheduled for this event.
+func (s *Schedule) take() (kind string, delay time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.next
+	s.next++
+	kind = s.faults[i]
+	if kind != "" {
+		s.injected[kind]++
+	}
+	return kind, s.delays[i]
+}
+
+// Injected counts the faults this schedule has actually fired so far.
+func (s *Schedule) Injected() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.injected))
+	for k, v := range s.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// describe renders the full pre-drawn timetable, sorted by event
+// index — the replay-determinism witness.
+func (s *Schedule) describe(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := make([]int, 0, len(s.faults))
+	for i := range s.faults {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]string, 0, len(idx))
+	for _, i := range idx {
+		line := fmt.Sprintf("%s[%d]=%s", prefix, i, s.faults[i])
+		if d, ok := s.delays[i]; ok {
+			line += fmt.Sprintf("+%v", d)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// ProcessPlan is the compiled process-boundary schedule: which worker
+// slots die mid-shard, and whether/when the daemon restarts.
+type ProcessPlan struct {
+	// WorkerAbandons[slot] > 0: that worker exits after acquiring its
+	// Nth lease without completing, failing or heartbeating it (the
+	// supervisor then starts a clean replacement).
+	WorkerAbandons []int
+	// RestartAfterDone > 0: kill and restart the daemon once that many
+	// shards have been acked. 0: no restart.
+	RestartAfterDone int
+}
+
+// Plan is a compiled Spec: one pre-drawn schedule per boundary, each
+// derived from its own rng.Split stream so adding faults to one
+// boundary never perturbs another's timetable.
+type Plan struct {
+	Spec      Spec
+	Transport *Schedule
+	Server    *Schedule
+	Writes    *Schedule
+	Reads     *Schedule
+
+	process *rng.Source
+}
+
+// Stream ids under the chaos root — the same fan-out discipline the
+// simulator uses for per-run seeds.
+const (
+	streamTransport = 1
+	streamServer    = 2
+	streamWrites    = 3
+	streamReads     = 4
+	streamProcess   = 5
+)
+
+// NewPlan compiles spec into its deterministic fault timetables.
+func NewPlan(spec Spec) *Plan {
+	root := rng.New(spec.Seed)
+	return &Plan{
+		Spec:      spec,
+		Transport: buildSchedule(root.Split(streamTransport), spec.TransportRate, spec.Transport, spec.MaxDelay),
+		Server:    buildSchedule(root.Split(streamServer), spec.ServerRate, spec.Server, 0),
+		Writes:    buildSchedule(root.Split(streamWrites), spec.WriteRate, spec.Writes, 0),
+		Reads:     buildSchedule(root.Split(streamReads), spec.ReadRate, spec.Reads, 0),
+		process:   root.Split(streamProcess),
+	}
+}
+
+// ProcessPlan draws the process-boundary schedule for a run with the
+// given worker and shard counts. Call once per plan: the draws come
+// off the dedicated process stream in a fixed order, so the result is
+// a pure function of (seed, workers, shards).
+func (p *Plan) ProcessPlan(workers, shards int) ProcessPlan {
+	pp := ProcessPlan{WorkerAbandons: make([]int, workers)}
+	n := p.Spec.MaxWorkerAbandons
+	if n > workers {
+		n = workers
+	}
+	for i := 0; i < n; i++ {
+		if slot := p.process.Intn(workers); pp.WorkerAbandons[slot] == 0 {
+			// Die on the 1st or 2nd lease: early enough to matter.
+			pp.WorkerAbandons[slot] = 1 + p.process.Intn(2)
+		}
+	}
+	if p.process.Bernoulli(p.Spec.RestartProb) && shards > 1 {
+		pp.RestartAfterDone = 1 + p.process.Intn(shards-1)
+	}
+	return pp
+}
+
+// Describe renders every pre-drawn fault in the plan, sorted within
+// each boundary — two plans built from the same Spec always describe
+// identically (the determinism contract the tests pin down).
+func (p *Plan) Describe() []string {
+	var out []string
+	out = append(out, p.Transport.describe("transport")...)
+	out = append(out, p.Server.describe("server")...)
+	out = append(out, p.Writes.describe("write")...)
+	out = append(out, p.Reads.describe("read")...)
+	return out
+}
+
+// Injected aggregates fired-fault counts across all boundaries.
+func (p *Plan) Injected() map[string]int {
+	out := make(map[string]int)
+	for _, s := range []*Schedule{p.Transport, p.Server, p.Writes, p.Reads} {
+		for k, v := range s.Injected() {
+			out[k] += v
+		}
+	}
+	return out
+}

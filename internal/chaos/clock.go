@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts "what time is it" for components that make
+// time-based decisions (lease expiry, heartbeat deadlines). The
+// daemon's queue takes a now-func (sweepd.Config.Now), so a
+// ManualClock turns every lease-TTL test into pure state-machine
+// arithmetic: advance the clock past the TTL and observe the expiry —
+// no wall-clock sleeps, no flakes by construction.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is the real clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// ManualClock only moves when told to. Safe for concurrent use.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock starts a manual clock at t.
+func NewManualClock(t time.Time) *ManualClock {
+	return &ManualClock{t: t}
+}
+
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *ManualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}

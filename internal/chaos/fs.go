@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"fmt"
+	"io/fs"
+	"sync/atomic"
+
+	"crn/internal/sweepfile"
+)
+
+// FS wraps a sweepfile.FS with storage faults per two pre-drawn
+// schedules (one for writes, one for reads):
+//
+//   - write-error: the write fails like a full disk or failed fsync,
+//     leaving a zero-length ".tmp-chaos-*" debris file — exactly the
+//     wreckage of a writer crashed between temp-write and rename.
+//   - torn-write: only a truncated prefix lands on disk, yet the
+//     write reports success — the lying-disk case that only the
+//     store's read-back verification can catch.
+//   - corrupt-read: the file is fine on disk but one bit flips on the
+//     way up — caught by the artifact content sum.
+//   - read-error: the read fails outright.
+type FS struct {
+	Base   sweepfile.FS
+	Writes *Schedule
+	Reads  *Schedule
+	Log    Logf
+
+	debris atomic.Int64 // names the .tmp-chaos debris files uniquely
+}
+
+// NewFS wires chaos storage faults over the real filesystem.
+func NewFS(writes, reads *Schedule, log Logf) *FS {
+	if log == nil {
+		log = noLog
+	}
+	return &FS{Base: sweepfile.OS, Writes: writes, Reads: reads, Log: log}
+}
+
+var _ sweepfile.FS = (*FS)(nil)
+
+func (c *FS) ReadFile(path string) ([]byte, error) {
+	kind, _ := c.Reads.take()
+	switch kind {
+	case FaultReadErr:
+		c.Log("chaos: fs: %s %s", FaultReadErr, path)
+		return nil, fmt.Errorf("chaos: injected read error: %s", path)
+	case FaultCorrupt:
+		doc, err := c.Base.ReadFile(path)
+		if err != nil || len(doc) == 0 {
+			return doc, err
+		}
+		c.Log("chaos: fs: %s %s", FaultCorrupt, path)
+		flipped := make([]byte, len(doc))
+		copy(flipped, doc)
+		flipped[len(flipped)/2] ^= 0x01
+		return flipped, nil
+	default:
+		return c.Base.ReadFile(path)
+	}
+}
+
+func (c *FS) WriteFileAtomic(path string, data []byte) error {
+	kind, _ := c.Writes.take()
+	switch kind {
+	case FaultWriteErr:
+		c.Log("chaos: fs: %s %s", FaultWriteErr, path)
+		// The failed writer's corpse: a zero-length temp file next to
+		// the destination, for recovery to sweep up.
+		debris := fmt.Sprintf("%s.tmp-chaos%d", path, c.debris.Add(1))
+		c.Base.WriteFileAtomic(debris, nil)
+		return fmt.Errorf("chaos: injected write error: %s", path)
+	case FaultTorn:
+		c.Log("chaos: fs: %s %s (%d of %d bytes land)", FaultTorn, path, len(data)/2, len(data))
+		return c.Base.WriteFileAtomic(path, data[:len(data)/2])
+	default:
+		return c.Base.WriteFileAtomic(path, data)
+	}
+}
+
+func (c *FS) MkdirAll(path string) error                 { return c.Base.MkdirAll(path) }
+func (c *FS) ReadDir(path string) ([]fs.DirEntry, error) { return c.Base.ReadDir(path) }
+func (c *FS) Remove(path string) error                   { return c.Base.Remove(path) }

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"context"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"crn/internal/sweepfile"
+)
+
+func matrixSpec() *sweepfile.Spec {
+	return &sweepfile.Spec{
+		Primitive: "cseek",
+		Seeds:     4,
+		BaseSeed:  42,
+		Variants: []sweepfile.Variant{
+			{Name: "quiet-path", Topology: "path", N: 6, Channels: 3, K: 2, Seed: 1},
+			{Name: "busy-star", Topology: "star", N: 8, Channels: 4, K: 2, Seed: 2, Preset: "urban-busy"},
+		},
+	}
+}
+
+// TestMatrixUnderChaos is the tentpole's own test: a handful of
+// seeded fault schedules against the full two-worker service stack.
+// Every run that completes must be byte-identical to the in-process
+// sweep, and no acked artifact may ever be lost — completed or not.
+// (CI runs the wide 32-seed matrix through `crnsweepd chaos`.)
+func TestMatrixUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations under fault injection")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	results, err := RunMatrix(ctx, MatrixConfig{
+		Spec:     matrixSpec(),
+		Shards:   4,
+		Workers:  2,
+		SeedBase: 1,
+		Seeds:    4,
+		LeaseTTL: 1500 * time.Millisecond,
+		Timeout:  45 * time.Second,
+		Log:      log.New(os.Stderr, "chaos: ", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for _, r := range results {
+		if r.AckedLost > 0 {
+			t.Errorf("seed %d: %d acked artifacts lost", r.Seed, r.AckedLost)
+		}
+		if r.Completed {
+			completed++
+			if !r.ByteIdentical {
+				t.Errorf("seed %d: completed but diverged: %s", r.Seed, r.Err)
+			}
+		} else {
+			t.Logf("seed %d did not complete: %s (faults %v)", r.Seed, r.Err, r.Injected)
+		}
+	}
+	// The budgets are sized so runs finish; an all-timeout matrix
+	// means the hardening regressed, not that chaos won fairly.
+	if completed == 0 {
+		t.Fatal("no seed completed its run")
+	}
+}

@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Logf receives fault-injection narration (default: silent).
+type Logf func(format string, args ...any)
+
+func noLog(string, ...any) {}
+
+// Transport is an http.RoundTripper that injects client-visible
+// network faults per a pre-drawn Schedule: dropped requests
+// (connection reset before the daemon sees anything), dropped replies
+// (the daemon processed the request — the dangerous half of
+// at-most-once), duplicated requests, and delays. Plug it into
+// sweepd.NewClient via sweepd.WithTransport.
+type Transport struct {
+	Base  http.RoundTripper
+	Sched *Schedule
+	Log   Logf
+}
+
+// NewTransport wires a chaos transport over the default RoundTripper.
+func NewTransport(sched *Schedule, log Logf) *Transport {
+	if log == nil {
+		log = noLog
+	}
+	return &Transport{Base: http.DefaultTransport, Sched: sched, Log: log}
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, delay := t.Sched.take()
+	switch kind {
+	case FaultDropRequest:
+		// Swallow the request whole: the daemon never saw it, the
+		// caller sees a reset. The safe failure — nothing happened.
+		t.Log("chaos: transport: %s %s %s", FaultDropRequest, req.Method, req.URL.Path)
+		return nil, fmt.Errorf("chaos: connection reset by peer (request dropped)")
+
+	case FaultDropReply:
+		// Deliver the request, lose the reply: the daemon's state
+		// changed and the caller cannot know. This is the fault that
+		// forces Complete to be idempotent.
+		t.Log("chaos: transport: %s %s %s", FaultDropReply, req.Method, req.URL.Path)
+		resp, err := t.Base.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: connection reset by peer (reply dropped)")
+
+	case FaultDuplicate:
+		// Deliver the request twice (a retransmit the daemon must
+		// tolerate); hand the second reply to the caller.
+		t.Log("chaos: transport: %s %s %s", FaultDuplicate, req.Method, req.URL.Path)
+		if first, err := t.Base.RoundTrip(cloneRequest(req)); err == nil {
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		return t.Base.RoundTrip(req)
+
+	case FaultDelay:
+		t.Log("chaos: transport: %s %v %s %s", FaultDelay, delay, req.Method, req.URL.Path)
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+		return t.Base.RoundTrip(req)
+
+	default:
+		return t.Base.RoundTrip(req)
+	}
+}
+
+// cloneRequest deep-copies req with a fresh body so it can be sent
+// twice. Requests without GetBody (none in the sweepd client) are
+// duplicated body-less.
+func cloneRequest(req *http.Request) *http.Request {
+	c := req.Clone(req.Context())
+	if req.GetBody != nil {
+		if body, err := req.GetBody(); err == nil {
+			c.Body = body
+		}
+	}
+	return c
+}
+
+// Middleware wraps the daemon's handler with server-side faults —
+// 5xx storms and overload sheds (429 + Retry-After), injected before
+// the real handler runs, so an injected failure always means "not
+// processed" (matching what those statuses promise the client).
+//
+// Faults fire only on the lease paths (acquire, heartbeat, complete,
+// fail): that is the worker traffic the retry/idempotency machinery
+// protects. Control-plane calls (submit, status, result) and healthz
+// pass through untouched so the harness can always observe the run.
+func Middleware(sched *Schedule, log Logf, next http.Handler) http.Handler {
+	if log == nil {
+		log = noLog
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/api/v1/lease") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		kind, _ := sched.take()
+		switch kind {
+		case FaultError500:
+			log("chaos: server: %s %s %s", FaultError500, r.Method, r.URL.Path)
+			http.Error(w, `{"error":"chaos: injected internal error"}`, http.StatusInternalServerError)
+		case FaultShed429:
+			log("chaos: server: %s %s %s", FaultShed429, r.Method, r.URL.Path)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"chaos: injected overload shed"}`, http.StatusTooManyRequests)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package sweepd
+
+import (
+	"time"
+
+	"crn/internal/rng"
+)
+
+// backoff produces jittered exponential delays: each next() draws
+// uniformly from [cur/2, 3·cur/2) and doubles cur toward max. The
+// jitter decorrelates a worker fleet — after a daemon restart every
+// worker's poll failed at the same instant, and without jitter they
+// would re-poll in lockstep forever (the thundering herd the fixed
+// 200ms interval used to guarantee). reset() snaps back to base on
+// success so an active queue is drained at full pace. Not safe for
+// concurrent use; each loop owns its own backoff.
+type backoff struct {
+	base, max, cur time.Duration
+	src            *rng.Source
+}
+
+func newBackoff(base, max time.Duration, seed uint64) *backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max, cur: base, src: rng.New(seed)}
+}
+
+func (b *backoff) next() time.Duration {
+	d := b.cur/2 + time.Duration(b.src.Intn(int(b.cur)))
+	if b.cur *= 2; b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+func (b *backoff) reset() { b.cur = b.base }

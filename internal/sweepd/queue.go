@@ -19,10 +19,15 @@ import (
 // whole job — by then the spec itself is the likely culprit, not the
 // workers.
 type queue struct {
-	mu          sync.Mutex
-	jobs        map[string]*job
-	order       []string          // submission order, for listing and FIFO dispatch
-	leases      map[string]*lease // live leases by id
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string          // submission order, for listing and FIFO dispatch
+	leases map[string]*lease // live leases by id
+	// doneLeases remembers completed leases until their job merges, so
+	// a worker whose Complete ack was lost in transit can replay the
+	// upload and get a no-op success instead of a 409. Expired leases
+	// are NOT here: expiry wins over late completion, always.
+	doneLeases  map[string]*lease
 	ttl         time.Duration
 	maxAttempts int
 	seq         int              // lease id sequence
@@ -35,8 +40,11 @@ type job struct {
 	dir      string // spool directory holding this job's files
 	created  time.Time
 	shards   []shardState
-	merged   bool   // merged.json written, result servable
-	failerr  string // non-empty: job failed
+	merged   bool // merged.json written, result servable
+	// mergedSum is the merged result's checksum, kept in memory so
+	// serving the result can detect a read that went bad on disk.
+	mergedSum string
+	failerr   string // non-empty: job failed
 }
 
 type shardState struct {
@@ -59,6 +67,7 @@ func newQueue(ttl time.Duration, maxAttempts int) *queue {
 	return &queue{
 		jobs:        make(map[string]*job),
 		leases:      make(map[string]*lease),
+		doneLeases:  make(map[string]*lease),
 		ttl:         ttl,
 		maxAttempts: maxAttempts,
 		now:         time.Now,
@@ -67,17 +76,18 @@ func newQueue(ttl time.Duration, maxAttempts int) *queue {
 
 // add registers a job. doneShards[k] pre-marks shards recovered from
 // the spool with valid artifacts (nil means none); merged marks a job
-// whose merged result already exists.
-func (q *queue) add(id, dir string, m *sweepfile.Manifest, created time.Time, doneShards []bool, merged bool) *job {
+// whose merged result already exists, with mergedSum its checksum.
+func (q *queue) add(id, dir string, m *sweepfile.Manifest, created time.Time, doneShards []bool, merged bool, mergedSum string) *job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j := &job{
-		id:       id,
-		manifest: m,
-		dir:      dir,
-		created:  created,
-		shards:   make([]shardState, len(m.Plan.Shards)),
-		merged:   merged,
+		id:        id,
+		manifest:  m,
+		dir:       dir,
+		created:   created,
+		shards:    make([]shardState, len(m.Plan.Shards)),
+		merged:    merged,
+		mergedSum: mergedSum,
 	}
 	for k := range j.shards {
 		j.shards[k].state = ShardPending
@@ -148,18 +158,23 @@ func (q *queue) heartbeat(leaseID string) error {
 	return nil
 }
 
-// lookup resolves a live lease to its job and shard index without
-// changing state — the server uses it to validate an uploaded
-// artifact against the right manifest before committing anything.
-func (q *queue) lookup(leaseID string) (*job, int, error) {
+// lookup resolves a lease to its job and shard index without changing
+// state — the server uses it to validate an uploaded artifact against
+// the right manifest before committing anything. completed reports a
+// lease that already finished: a replayed Complete under it is a
+// no-op success, not a conflict.
+func (q *queue) lookup(leaseID string) (j *job, shard int, completed bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked()
+	if l, ok := q.doneLeases[leaseID]; ok {
+		return l.job, l.shard, true, nil
+	}
 	l, ok := q.leases[leaseID]
 	if !ok {
-		return nil, 0, fmt.Errorf("lease %s unknown or expired", leaseID)
+		return nil, 0, false, fmt.Errorf("lease %s unknown or expired", leaseID)
 	}
-	return l.job, l.shard, nil
+	return l.job, l.shard, false, nil
 }
 
 // complete marks a leased shard done (its artifact is already
@@ -169,6 +184,11 @@ func (q *queue) complete(leaseID string) (j *job, lastShard bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked()
+	if l, ok := q.doneLeases[leaseID]; ok {
+		// Duplicate upload under a lease that already completed (the
+		// worker's first ack was lost in transit): idempotent no-op.
+		return l.job, false, nil
+	}
 	l, ok := q.leases[leaseID]
 	if !ok {
 		// The lease expired while the worker was finishing. The shard
@@ -178,6 +198,7 @@ func (q *queue) complete(leaseID string) (j *job, lastShard bool, err error) {
 		return nil, false, fmt.Errorf("lease %s unknown or expired", leaseID)
 	}
 	delete(q.leases, leaseID)
+	q.doneLeases[leaseID] = l
 	s := &l.job.shards[l.shard]
 	s.state = ShardDone
 	s.leaseID, s.worker = "", ""
@@ -198,11 +219,63 @@ func (q *queue) fail(leaseID, reason string) error {
 	return nil
 }
 
-// markMerged records that a job's merged result is on disk.
-func (q *queue) markMerged(j *job) {
+// markMerged records that a job's merged result is on disk (with its
+// checksum, for serve-time verification) and drops its completed-lease
+// bookkeeping (nothing left to replay against).
+func (q *queue) markMerged(j *job, sum string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j.merged = true
+	j.mergedSum = sum
+	for id, l := range q.doneLeases {
+		if l.job == j {
+			delete(q.doneLeases, id)
+		}
+	}
+}
+
+// mergedSumOf reads a job's merged-result checksum under the lock.
+func (q *queue) mergedSumOf(j *job) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return j.mergedSum
+}
+
+// invalidateShard re-queues a done shard whose spooled artifact
+// turned out to be invalid at merge time — a torn or corrupted write
+// the ack-time validation could not have caught (the bytes went bad
+// on disk, or a faulty filesystem lied). The shard burns an attempt
+// like any other failure, so persistent corruption still fails the
+// job through maxAttempts instead of looping forever.
+func (q *queue) invalidateShard(j *job, shard int, reason string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := &j.shards[shard]
+	if s.state != ShardDone || j.merged || j.failerr != "" {
+		return
+	}
+	for id, l := range q.doneLeases {
+		if l.job == j && l.shard == shard {
+			delete(q.doneLeases, id)
+		}
+	}
+	q.requeueLocked(j, shard, reason)
+}
+
+// unmergedDone snapshots jobs whose shards are all done but whose
+// merge has not landed — the janitor retries these, so a transient
+// spool write error during merge heals instead of wedging the job.
+func (q *queue) unmergedDone() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*job
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.failerr == "" && !j.merged && j.allDoneLocked() && len(j.shards) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // markFailed fails a whole job (e.g. its merge step errored).

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -26,6 +27,23 @@ type Config struct {
 	// MaxAttempts bounds how many leases one shard may burn before its
 	// job is failed (default 5).
 	MaxAttempts int
+	// MaxInflight bounds concurrently-served API requests (overload
+	// shedding): excess requests are refused with 429 + Retry-After
+	// instead of queueing without bound. 0 disables shedding. The
+	// health endpoint is exempt — a shedding daemon is alive.
+	MaxInflight int
+	// FS is the spool filesystem (default sweepfile.OS). internal/chaos
+	// injects faults here.
+	FS sweepfile.FS
+	// Now is the queue's clock (default time.Now). Tests and chaos
+	// schedules use a manual clock so lease expiry needs no wall-clock
+	// sleeps.
+	Now func() time.Time
+	// OnShardDone, when set, observes every acked shard completion
+	// (after the artifact is durably spooled and the queue marked it
+	// done). The chaos harness uses it to assert no acked artifact is
+	// ever lost.
+	OnShardDone func(jobID string, shard int)
 	// Log receives operational messages (default: log.Default()).
 	Log *log.Logger
 }
@@ -38,6 +56,7 @@ type Server struct {
 	queue    *queue
 	store    *store
 	log      *log.Logger
+	inflight chan struct{} // shedding semaphore (nil: unbounded)
 	stop     chan struct{}
 	stopOnce sync.Once
 }
@@ -56,7 +75,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Log == nil {
 		cfg.Log = log.Default()
 	}
-	st, err := newStore(cfg.Spool)
+	st, err := newStore(cfg.Spool, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +85,12 @@ func New(cfg Config) (*Server, error) {
 		store: st,
 		log:   cfg.Log,
 		stop:  make(chan struct{}),
+	}
+	if cfg.Now != nil {
+		s.queue.now = cfg.Now
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	if err := s.recoverJobs(); err != nil {
 		return nil, err
@@ -91,7 +116,7 @@ func (s *Server) recoverJobs() error {
 		return recovered[i].id < recovered[k].id
 	})
 	for _, rj := range recovered {
-		j := s.queue.add(rj.id, rj.dir, rj.manifest, rj.created, rj.doneShards, rj.merged)
+		j := s.queue.add(rj.id, rj.dir, rj.manifest, rj.created, rj.doneShards, rj.merged, rj.mergedSum)
 		done := 0
 		for _, ok := range rj.doneShards {
 			if ok {
@@ -103,19 +128,42 @@ func (s *Server) recoverJobs() error {
 		// Crashed after the last artifact but before (or during) the
 		// merge: finish it now. Deterministic bytes make this idempotent.
 		if done == len(rj.doneShards) && !rj.merged {
-			if err := s.store.mergeJob(j); err != nil {
-				s.queue.markFailed(j, err.Error())
-				s.log.Printf("sweepd: job %s: recovery merge failed: %v", rj.id, err)
-				continue
-			}
-			s.queue.markMerged(j)
-			s.log.Printf("sweepd: job %s: recovery merge complete", rj.id)
+			s.finishJob(j)
 		}
 	}
 	return nil
 }
 
-// janitor expires stale leases in the background until Close.
+// finishJob merges an all-shards-done job, triaging failure by the
+// store's error taxonomy: an invalid shard artifact re-queues that
+// shard (self-healing — chaos or a bad disk corrupted it after the
+// ack, so it is simply re-run), a semantic merge rejection fails the
+// job, and anything else (a transient spool write error) leaves the
+// job all-done-unmerged for the janitor to retry.
+func (s *Server) finishJob(j *job) {
+	sum, err := s.store.mergeJob(j)
+	if err == nil {
+		s.queue.markMerged(j, sum)
+		s.log.Printf("sweepd: job %s merged: result available", j.id)
+		return
+	}
+	var inv *shardInvalidError
+	if errors.As(err, &inv) {
+		s.queue.invalidateShard(j, inv.shard, inv.Error())
+		s.log.Printf("sweepd: job %s: %v — shard %d re-queued", j.id, err, inv.shard)
+		return
+	}
+	var fatal *fatalMergeError
+	if errors.As(err, &fatal) {
+		s.queue.markFailed(j, err.Error())
+		s.log.Printf("sweepd: job %s: merge failed: %v", j.id, err)
+		return
+	}
+	s.log.Printf("sweepd: job %s: merge deferred (will retry): %v", j.id, err)
+}
+
+// janitor expires stale leases and retries deferred merges in the
+// background until Close.
 func (s *Server) janitor() {
 	tick := time.NewTicker(s.cfg.LeaseTTL / 4)
 	defer tick.Stop()
@@ -125,6 +173,9 @@ func (s *Server) janitor() {
 			return
 		case <-tick.C:
 			s.queue.expire()
+			for _, j := range s.queue.unmergedDone() {
+				s.finishJob(j)
+			}
 		}
 	}
 }
@@ -136,7 +187,8 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API, wrapped in the overload
+// shedder when MaxInflight is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -151,7 +203,32 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.shed(mux)
+}
+
+// shed refuses requests beyond MaxInflight with 429 + Retry-After —
+// clients (and the workers' backoff loops) honor the hint, so a
+// flooded daemon degrades into pacing instead of collapse. 429 always
+// means "not processed": every verb, Submit included, may safely
+// retry it.
+func (s *Server) shed(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.error(w, http.StatusTooManyRequests, fmt.Errorf("daemon overloaded (%d requests in flight), retry later", cap(s.inflight)))
+		}
+	})
 }
 
 // maxBody bounds request bodies; shard artifacts dominate and are
@@ -224,7 +301,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.queue.add(id, dir, m, created, nil, false)
+	s.queue.add(id, dir, m, created, nil, false, "")
 	s.log.Printf("sweepd: job %s submitted: %d runs in %d shards (plan %s)",
 		id, len(m.Plan.Variants)*m.Plan.Seeds, len(m.Plan.Shards), m.PlanHash)
 	s.reply(w, http.StatusOK, &SubmitResponse{ID: id})
@@ -260,7 +337,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, _ := s.queue.get(id)
-	doc, err := s.store.resultBytes(j)
+	doc, err := s.store.resultBytes(j, s.queue.mergedSumOf(j))
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err)
 		return
@@ -306,9 +383,17 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, fmt.Errorf("complete: missing artifact"))
 		return
 	}
-	j, shard, err := s.queue.lookup(leaseID)
+	j, shard, completed, err := s.queue.lookup(leaseID)
 	if err != nil {
 		s.error(w, http.StatusConflict, err)
+		return
+	}
+	if completed {
+		// Replayed upload for a lease that already completed — the
+		// worker's first ack was lost. The artifact is already spooled
+		// and validated; acknowledge again and change nothing.
+		s.log.Printf("sweepd: lease %s: duplicate complete for shard %d of job %s (no-op)", leaseID, shard, j.id)
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	// The same validation gauntlet the offline pipeline applies:
@@ -331,14 +416,11 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.log.Printf("sweepd: lease %s: shard %d of job %s complete", leaseID, shard, j.id)
+	if s.cfg.OnShardDone != nil {
+		s.cfg.OnShardDone(j2.id, shard)
+	}
 	if last {
-		if err := s.store.mergeJob(j2); err != nil {
-			s.queue.markFailed(j2, err.Error())
-			s.error(w, http.StatusInternalServerError, err)
-			return
-		}
-		s.queue.markMerged(j2)
-		s.log.Printf("sweepd: job %s merged: result available", j2.id)
+		s.finishJob(j2)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

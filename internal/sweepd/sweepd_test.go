@@ -411,7 +411,7 @@ func TestQueueLeaseLifecycle(t *testing.T) {
 	now := time.Unix(1000, 0)
 	q := newQueue(time.Minute, 2)
 	q.now = func() time.Time { return now }
-	q.add("j1", t.TempDir(), m, now, nil, false)
+	q.add("j1", t.TempDir(), m, now, nil, false, "")
 
 	g1 := q.acquire("w1")
 	if g1 == nil || g1.Shard != 0 {
@@ -452,7 +452,7 @@ func TestQueueLeaseLifecycle(t *testing.T) {
 	if err != nil || !last {
 		t.Fatalf("complete g3: last=%v err=%v", last, err)
 	}
-	q.markMerged(j)
+	q.markMerged(j, "")
 	st, _ := q.status("j1")
 	if st.State != JobDone {
 		t.Errorf("job state %s after merge, want done", st.State)
@@ -473,7 +473,7 @@ func TestQueueMaxAttemptsFailsJob(t *testing.T) {
 	now := time.Unix(1000, 0)
 	q := newQueue(time.Minute, 2)
 	q.now = func() time.Time { return now }
-	q.add("j1", t.TempDir(), m, now, nil, false)
+	q.add("j1", t.TempDir(), m, now, nil, false, "")
 
 	g := q.acquire("w1")
 	if err := q.fail(g.Lease, "boom"); err != nil {

@@ -3,6 +3,8 @@ package sweepd
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log"
 	"time"
 
@@ -24,8 +26,14 @@ type Worker struct {
 	// Workers is the per-shard simulation pool size (0: GOMAXPROCS).
 	// It never affects output bytes.
 	Workers int
-	// Poll is the idle re-poll interval (default 200ms).
+	// Poll is the idle re-poll base interval (default 200ms). Each
+	// empty or failed acquire backs off exponentially with jitter from
+	// this base up to PollMax; a successful acquire resets to Poll.
 	Poll time.Duration
+	// PollMax caps the acquire backoff (default 20×Poll). A worker
+	// fleet facing a down daemon converges to jittered polls at this
+	// cap instead of hammering it in lockstep the moment it returns.
+	PollMax time.Duration
 	// MaxShards, when > 0, exits the worker after completing that many
 	// shards (useful in tests and drain scripts). 0 runs until ctx is
 	// cancelled.
@@ -54,6 +62,15 @@ func (w *Worker) Run(ctx context.Context) error {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
+	pollMax := w.PollMax
+	if pollMax <= 0 {
+		pollMax = 20 * poll
+	}
+	// Seed the jitter from the worker name: deterministic per worker,
+	// decorrelated across the fleet.
+	h := fnv.New64a()
+	io.WriteString(h, w.Name)
+	idle := newBackoff(poll, pollMax, h.Sum64())
 	leased, completed := 0, 0
 	for {
 		if ctx.Err() != nil {
@@ -70,10 +87,11 @@ func (w *Worker) Run(ctx context.Context) error {
 			select {
 			case <-ctx.Done():
 				return nil
-			case <-time.After(poll):
+			case <-time.After(idle.next()):
 			}
 			continue
 		}
+		idle.reset()
 		leased++
 		if w.AbandonAfter > 0 && leased >= w.AbandonAfter {
 			logf("worker %s: abandoning lease %s (shard %d of job %s) and exiting", w.Name, grant.Lease, grant.Shard, grant.Job)
@@ -146,8 +164,18 @@ func (w *Worker) executeLease(ctx context.Context, grant *LeaseGrant, logf func(
 		}
 		return err
 	}
-	artifact := &sweepfile.Artifact{PlanHash: grant.Manifest.PlanHash, Result: res}
+	artifact, err := sweepfile.NewArtifact(grant.Manifest.PlanHash, res)
+	if err != nil {
+		return fmt.Errorf("checksumming shard %d: %w", grant.Shard, err)
+	}
 	if err := w.Client.Complete(ctx, grant.Lease, artifact); err != nil {
+		if IsConflict(err) {
+			// Expiry won the race: the daemon re-dispatched the shard
+			// while we were uploading. Not a worker failure — the
+			// deterministic bytes will come from whoever holds the new
+			// lease.
+			return fmt.Errorf("uploading shard %d: lease lost to expiry, shard re-dispatched: %w", grant.Shard, err)
+		}
 		return fmt.Errorf("uploading shard %d: %w", grant.Shard, err)
 	}
 	logf("worker %s: shard %d of job %s complete (%d runs)", w.Name, grant.Shard, grant.Job, len(res.Runs))

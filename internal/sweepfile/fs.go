@@ -1,0 +1,87 @@
+package sweepfile
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FS is the filesystem seam every sweep file moves through. The
+// offline pipeline and the daemon's spool both write via
+// WriteFileAtomic and read via ReadFile, so injecting a faulty FS
+// (internal/chaos) exercises exactly the failure surface a real disk
+// exposes: torn writes, corrupted bytes, fsync-style errors, stale
+// temp files from a crash between temp-write and rename.
+//
+// WriteFileAtomic is the interface's unit of durability on purpose:
+// callers never see a half-written destination file from a correct
+// implementation, so any torn artifact found on disk is either
+// injected chaos or a broken filesystem — and recovery must treat the
+// two identically.
+type FS interface {
+	ReadFile(path string) ([]byte, error)
+	// WriteFileAtomic writes data to path via a same-directory temp
+	// file and rename, so an interrupted writer leaves either the old
+	// file or the new one — never a truncated in-between.
+	WriteFileAtomic(path string, data []byte) error
+	MkdirAll(path string) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Remove(path string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) MkdirAll(path string) error                 { return os.MkdirAll(path, 0o755) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+
+func (osFS) WriteFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// IsTempFile reports whether name looks like an atomic-write temp file
+// (the ".tmp-" infix every FS implementation uses).
+func IsTempFile(name string) bool { return strings.Contains(name, ".tmp-") }
+
+// RemoveStaleTemps deletes leftover atomic-write temp files in dir —
+// the debris of a writer that crashed between temp-write and rename.
+// They are never valid artifacts (artifact names carry no ".tmp-"),
+// so removing them is always safe; returns the removed names.
+func RemoveStaleTemps(fsys FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || !IsTempFile(e.Name()) {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, err
+		}
+		removed = append(removed, e.Name())
+	}
+	return removed, nil
+}

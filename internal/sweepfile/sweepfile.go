@@ -84,12 +84,41 @@ type Manifest struct {
 type Artifact struct {
 	// PlanHash ties the artifact to the manifest that planned it.
 	PlanHash string `json:"planHash"`
+	// Sum is a sha256 over the canonical JSON of Result. PlanHash ties
+	// the artifact to its plan; Sum ties the artifact to its own
+	// content, so a bit-flipped counter inside an otherwise
+	// well-formed artifact — which would silently change the merged
+	// result — is detected at every load instead of merged. Empty in
+	// pre-checksum artifacts, which still validate (omitempty keeps
+	// the format backward-compatible).
+	Sum string `json:"sum,omitempty"`
 	// Result is the shard's runs.
 	Result *crn.ShardResult `json:"result"`
 }
 
 // ManifestVersion is the manifest format this package speaks.
 const ManifestVersion = 1
+
+// ResultSum fingerprints a shard result's canonical JSON — the
+// content half of an artifact's identity (PlanHash is the plan half).
+func ResultSum(res *crn.ShardResult) (string, error) {
+	doc, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(doc)), nil
+}
+
+// NewArtifact assembles a checksummed artifact for an executed shard.
+// Every producer (crnsweep run/resume, the service worker) goes
+// through it so every artifact carries a content sum.
+func NewArtifact(planHash string, res *crn.ShardResult) (*Artifact, error) {
+	sum, err := ResultSum(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{PlanHash: planHash, Sum: sum, Result: res}, nil
+}
 
 // PlanHash fingerprints the canonical (spec, plan) pair.
 func PlanHash(spec *Spec, plan *crn.ShardPlan) (string, error) {
@@ -283,14 +312,28 @@ func CheckArtifact(m *Manifest, a *Artifact, k int) error {
 	if len(a.Result.Runs) != r.Hi-r.Lo {
 		return fmt.Errorf("artifact has %d runs, shard %d wants %d", len(a.Result.Runs), k, r.Hi-r.Lo)
 	}
+	if a.Sum != "" {
+		sum, err := ResultSum(a.Result)
+		if err != nil {
+			return err
+		}
+		if sum != a.Sum {
+			return fmt.Errorf("artifact content sum %s does not match its runs (%s) — corrupted artifact", a.Sum, sum)
+		}
+	}
 	return nil
 }
 
 // LoadArtifact reads and validates shard k's artifact file under dir,
 // naming the offending file in every error.
 func LoadArtifact(m *Manifest, dir string, k int) (*crn.ShardResult, error) {
+	return LoadArtifactFS(OS, m, dir, k)
+}
+
+// LoadArtifactFS is LoadArtifact through an explicit filesystem.
+func LoadArtifactFS(fsys FS, m *Manifest, dir string, k int) (*crn.ShardResult, error) {
 	path := filepath.Join(dir, m.Artifacts[k])
-	doc, err := os.ReadFile(path)
+	doc, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -323,31 +366,20 @@ func MarshalPretty(v any) ([]byte, error) {
 // worker killed mid-upload) leaves either the old file or the new one
 // — never a truncated artifact that a later resume would half-trust.
 func WriteJSON(path string, v any) error {
+	return WriteJSONFS(OS, path, v)
+}
+
+// WriteJSONFS is WriteJSON through an explicit filesystem.
+func WriteJSONFS(fsys FS, path string, v any) error {
 	doc, err := MarshalPretty(v)
 	if err != nil {
 		return err
 	}
-	return WriteFileAtomic(path, doc)
+	return fsys.WriteFileAtomic(path, doc)
 }
 
 // WriteFileAtomic writes data to path via a same-directory temp file
 // and rename.
 func WriteFileAtomic(path string, data []byte) error {
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return OS.WriteFileAtomic(path, data)
 }
