@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
@@ -168,17 +170,43 @@ func benchSuite() ([]benchSpec, error) {
 
 	// Kernel slot loop: the same 64-node graph driven by deterministic
 	// scripted protocols (arithmetic role rotation, no rng, a declared
-	// FixedSchedule bound), isolating the engine kernel — index build,
-	// bitset-row resolution, observe dispatch — from the random-traffic
-	// protocol cost that dominates engine/slot.
+	// FixedSchedule bound) behind a range-ABI bank, isolating the engine
+	// kernel — range dispatch, index build, bitset-row resolution — from
+	// the random-traffic protocol cost that dominates engine/slot. This
+	// is the entry the ROADMAP's 100M node-slots/sec target gates on.
 	kernelBench := func(b *testing.B) {
 		g, a, err := benchTopology()
 		if err != nil {
 			b.Fatal(err)
 		}
-		e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a}, kernelProtos(64, 8))
+		e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a}, kernelProtos(64, 8, true))
 		if err != nil {
 			b.Fatal(err)
+		}
+		if !e.RangeDispatch() {
+			b.Fatal("kernel bank not detected")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Run(int64(b.N))
+	}
+
+	// The engine/slot workload (rng-drawing random traffic) behind a
+	// range bank: against engine/slot this isolates what the batch-aware
+	// ABI buys on realistic protocols, where the protocol itself still
+	// pays rng draws per action.
+	rangeBench := func(b *testing.B) {
+		g, a, err := benchTopology()
+		if err != nil {
+			b.Fatal(err)
+		}
+		protos := benchRandomBankedProtos(64, 8, rng.New(1))
+		e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a}, protos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !e.RangeDispatch() {
+			b.Fatal("rand bank not detected")
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -188,6 +216,8 @@ func benchSuite() ([]benchSpec, error) {
 	// The kernel workload batched: 8 replicas of the same scenario
 	// fused into one BatchEngine pass, the execution strategy behind
 	// SweepSpec.Batch. One op is one fused slot — 8×64 node-slots.
+	// Deliberately per-node dispatch: together with engine/slot-kernel
+	// it brackets the fallback and range ABIs.
 	const batchReplicas = 8
 	batchBench := func(b *testing.B) {
 		g, a, err := benchTopology()
@@ -196,7 +226,44 @@ func benchSuite() ([]benchSpec, error) {
 		}
 		reps := make([]radio.Replica, batchReplicas)
 		for r := range reps {
-			reps[r] = radio.Replica{Protocols: kernelProtos(64, 8)}
+			reps[r] = radio.Replica{Protocols: kernelProtos(64, 8, false)}
+		}
+		e, err := radio.NewBatchEngine(g, a, reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Run(int64(b.N))
+	}
+
+	// Dynamic-topology batching: 8 replicas of the slot-dynamics
+	// workload — random traffic under churn + link flapping, one private
+	// feed and graph clone per replica — through one fused pass. Against
+	// engine/slot-dynamics this prices the per-replica reconciliation
+	// the batch engine now performs instead of falling back to
+	// sequential runs.
+	batchDynBench := func(b *testing.B) {
+		g, a, err := benchTopology()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps := make([]radio.Replica, batchReplicas)
+		for r := range reps {
+			master := rng.New(uint64(100 + r))
+			protos := make([]radio.Protocol, 64)
+			for i := range protos {
+				protos[i] = benchRandomProto(master.Split(uint64(i)), 8)
+			}
+			churn, err := dynamics.NewChurn(64, 0.002, 0.05, uint64(40+r))
+			if err != nil {
+				b.Fatal(err)
+			}
+			flap, err := dynamics.NewEdgeFlap(g.Edges(), 0.005, 0.1, uint64(50+r))
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps[r] = radio.Replica{Protocols: protos, Topology: dynamics.Compose(churn, flap)}
 		}
 		e, err := radio.NewBatchEngine(g, a, reps)
 		if err != nil {
@@ -227,10 +294,22 @@ func benchSuite() ([]benchSpec, error) {
 			fn:          kernelBench,
 		},
 		{
+			name:        "engine/slot-range",
+			reps:        3,
+			nodeSlotsOp: 64,
+			fn:          rangeBench,
+		},
+		{
 			name:        "engine/slot-batch",
 			reps:        3,
 			nodeSlotsOp: batchReplicas * 64,
 			fn:          batchBench,
+		},
+		{
+			name:        "engine/slot-batch-dynamics",
+			reps:        3,
+			nodeSlotsOp: batchReplicas * 64,
+			fn:          batchDynBench,
 		},
 		{
 			name:        "primitive/cseek",
@@ -328,8 +407,10 @@ func benchRandomProto(r *rng.Source, c int) radio.Protocol {
 }
 
 type randProto struct {
-	r *rng.Source
-	c int
+	r    *rng.Source
+	c    int
+	bank *randBank
+	idx  int
 }
 
 func (p *randProto) Act(_ int64) radio.Action {
@@ -346,27 +427,62 @@ func (p *randProto) Act(_ int64) radio.Action {
 func (p *randProto) Observe(_ int64, _ *radio.Message) {}
 func (p *randProto) Done() bool                        { return false }
 
+// RangeBank implements radio.RangeNode.
+func (p *randProto) RangeBank() (radio.RangeProtocol, int) {
+	if p.bank == nil {
+		return nil, 0
+	}
+	return p.bank, p.idx
+}
+
+// randBank is the range-ABI bank over the random-traffic protocols:
+// the engine/slot-range entry, isolating what the batch-aware dispatch
+// buys on realistic (rng-drawing) protocols versus engine/slot.
+type randBank struct{ nodes []*randProto }
+
+func (b *randBank) ActRange(slot int64, lo, hi int, acts []radio.Action) {
+	for u := lo; u < hi; u++ {
+		acts[u] = b.nodes[u].Act(slot)
+	}
+}
+
+func (b *randBank) ObserveRange(_ int64, _, _ int, _ []radio.Delivery) {}
+
+// benchRandomBankedProtos builds n random-traffic protocols behind one
+// shared bank (range dispatch).
+func benchRandomBankedProtos(n, c int, master *rng.Source) []radio.Protocol {
+	bank := &randBank{nodes: make([]*randProto, n)}
+	protos := make([]radio.Protocol, n)
+	for i := range protos {
+		bank.nodes[i] = &randProto{r: master.Split(uint64(i)), c: c, bank: bank, idx: i}
+		protos[i] = bank.nodes[i]
+	}
+	return protos
+}
+
 // kernelProto is a deterministic scripted protocol: the node's role
 // and channel rotate arithmetically with (id, slot), so Act costs a
 // few ALU ops instead of rng draws, and the benchmark's time is spent
 // in the engine kernel rather than the protocol. It never finishes and
 // declares so via FixedSchedule, which lets the engine skip the
-// per-slot Done poll.
+// per-slot Done poll. The per-node state lives in the bank's flat
+// arrays either way; banked only controls whether the engine is told
+// about the bank (range vs per-node dispatch of the same machines).
 type kernelProto struct {
-	id    int
-	c     int
-	slot  int64
-	frame any
+	id     int
+	bank   *kernelBank
+	banked bool
 }
 
 func (p *kernelProto) Act(_ int64) radio.Action {
-	s := int(p.slot)
-	p.slot++
+	b := p.bank
+	s := int(b.slots[p.id])
+	b.slots[p.id] = int64(s) + 1
 	switch (p.id + s) & 3 {
 	case 0:
-		return radio.Action{Kind: radio.Broadcast, Ch: s % p.c, Data: p.frame}
+		return radio.Action{Kind: radio.Broadcast, Ch: s & b.cMask, Data: b.frames[p.id]}
 	case 1, 2:
-		return radio.Action{Kind: radio.Listen, Ch: (p.id + s) % p.c}
+		return radio.Action{Kind: radio.Listen, Ch: (p.id + s) & b.cMask}
 	default:
 		return radio.Action{Kind: radio.Idle}
 	}
@@ -376,10 +492,62 @@ func (p *kernelProto) Observe(_ int64, _ *radio.Message) {}
 func (p *kernelProto) Done() bool                        { return false }
 func (p *kernelProto) MinDoneSlots() int64               { return 1 << 62 }
 
-func kernelProtos(n, c int) []radio.Protocol {
+// RangeBank implements radio.RangeNode.
+func (p *kernelProto) RangeBank() (radio.RangeProtocol, int) {
+	if !p.banked {
+		return nil, 0
+	}
+	return p.bank, p.id
+}
+
+// kernelBank is the range-ABI bank over the kernel workload: per-node
+// state is struct-of-arrays (slot counters and preboxed frames in flat
+// slices), so ActRange is one branch-plus-store pass with no per-node
+// pointer chase, and the observe side is a no-op — the per-protocol
+// cost floor, leaving the benchmark to measure the engine kernel
+// alone. This is the dispatch mode behind the ROADMAP's 100M
+// node-slots/sec target.
+type kernelBank struct {
+	// cMask is c-1: the benchmark pins c to a power of two so the
+	// channel rotation is a mask, not a hardware divide per node-slot
+	// (a DIV is ~half the whole per-node kernel budget).
+	cMask  int
+	slots  []int64
+	frames []any
+}
+
+func (b *kernelBank) ActRange(_ int64, lo, hi int, acts []radio.Action) {
+	cMask := b.cMask
+	slots := b.slots
+	frames := b.frames
+	for u := lo; u < hi; u++ {
+		s := int(slots[u])
+		slots[u] = int64(s) + 1
+		switch (u + s) & 3 {
+		case 0:
+			acts[u] = radio.Action{Kind: radio.Broadcast, Ch: s & cMask, Data: frames[u]}
+		case 1, 2:
+			acts[u] = radio.Action{Kind: radio.Listen, Ch: (u + s) & cMask}
+		default:
+			acts[u] = radio.Action{Kind: radio.Idle}
+		}
+	}
+}
+
+func (b *kernelBank) ObserveRange(_ int64, _, _ int, _ []radio.Delivery) {}
+
+// kernelProtos builds the scripted kernel workload; banked shares a
+// kernelBank across the set (range dispatch), matching how the facade
+// now runs the core protocols.
+func kernelProtos(n, c int, banked bool) []radio.Protocol {
+	if c&(c-1) != 0 {
+		panic("kernelProtos: c must be a power of two")
+	}
+	bank := &kernelBank{cMask: c - 1, slots: make([]int64, n), frames: make([]any, n)}
 	protos := make([]radio.Protocol, n)
 	for i := range protos {
-		protos[i] = &kernelProto{id: i, c: c, frame: i}
+		bank.frames[i] = i
+		protos[i] = &kernelProto{id: i, bank: bank, banked: banked}
 	}
 	return protos
 }
@@ -480,6 +648,58 @@ func loadBaseline(path string) (BenchReport, error) {
 	return report, nil
 }
 
+// profileName maps a benchmark name to a profile file stem
+// ("engine/slot-kernel" -> "engine-slot-kernel").
+func profileName(name string) string {
+	return strings.NewReplacer("/", "-", "=", "-").Replace(name)
+}
+
+// specProfiler brackets one benchmark spec's measurement with CPU
+// and/or heap profiling, writing per-spec pprof files into the given
+// directories (created on demand). The CPU profile covers every rep of
+// the spec; the heap profile is a post-run snapshot after a forced GC,
+// so it shows steady-state retention rather than transient garbage.
+type specProfiler struct {
+	cpuDir, memDir string
+	cpuFile        *os.File
+}
+
+func (p *specProfiler) start(name string) error {
+	if p.cpuDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(p.cpuDir, profileName(name)+".cpu.pprof"))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+func (p *specProfiler) stop(name string) error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.memDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(p.memDir, profileName(name)+".mem.pprof"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
 // runBench executes the benchmark suite and writes the report.
 // format is "json" or "text"; out optionally names a file the JSON
 // report is additionally written to. In json mode w carries only the
@@ -490,7 +710,10 @@ func loadBaseline(path string) (BenchReport, error) {
 // to gate against: allocation regressions fail (after the report and
 // out file are written, so CI can still archive them), wall-time
 // regressions warn. This is the CI bench-regression gate.
-func runBench(w io.Writer, format, out, compare string) error {
+//
+// cpuDir / memDir, when non-empty, name directories that receive one
+// CPU / heap pprof file per benchmark entry (see specProfiler).
+func runBench(w io.Writer, format, out, compare, cpuDir, memDir string) error {
 	var baseline BenchReport
 	if compare != "" {
 		// Load before the (minutes-long) suite so a bad path fails fast.
@@ -499,6 +722,14 @@ func runBench(w io.Writer, format, out, compare string) error {
 			return err
 		}
 	}
+	for _, dir := range []string{cpuDir, memDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	profiler := &specProfiler{cpuDir: cpuDir, memDir: memDir}
 	specs, err := benchSuite()
 	if err != nil {
 		return err
@@ -518,12 +749,18 @@ func runBench(w io.Writer, format, out, compare string) error {
 			fmt.Fprintf(progress, "%-22s SKIP: %s\n", spec.name, spec.skip)
 			continue
 		}
+		if err := profiler.start(spec.name); err != nil {
+			return err
+		}
 		r := testing.Benchmark(spec.fn)
 		for rep := 1; rep < spec.reps; rep++ {
 			r2 := testing.Benchmark(spec.fn)
 			if float64(r2.T.Nanoseconds())*float64(r.N) < float64(r.T.Nanoseconds())*float64(r2.N) {
 				r = r2
 			}
+		}
+		if err := profiler.stop(spec.name); err != nil {
+			return err
 		}
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		res := BenchResult{

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	crnbench [-scale quick|full] [-run E1,E7] [-seed 42] [-list]
-//	crnbench -bench [-format json|text] [-out BENCH.json] [-compare BENCH_4.json]
+//	crnbench -bench [-format json|text] [-out BENCH.json] [-compare BENCH_5.json]
+//	         [-cpuprofile DIR] [-memprofile DIR]
 package main
 
 import (
@@ -39,6 +40,8 @@ func run(args []string, w io.Writer) error {
 		format    = fs.String("format", "text", "benchmark report format: text or json")
 		out       = fs.String("out", "", "also write the JSON benchmark report to this file")
 		compare   = fs.String("compare", "", "baseline BENCH_*.json to gate against: fail on allocs/op regressions, warn on ns/op")
+		cpuDir    = fs.String("cpuprofile", "", "directory receiving one CPU pprof file per benchmark entry")
+		memDir    = fs.String("memprofile", "", "directory receiving one heap pprof file per benchmark entry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,10 +51,13 @@ func run(args []string, w io.Writer) error {
 		if *format != "text" && *format != "json" {
 			return fmt.Errorf("unknown format %q (want text or json)", *format)
 		}
-		return runBench(w, *format, *out, *compare)
+		return runBench(w, *format, *out, *compare, *cpuDir, *memDir)
 	}
 	if *compare != "" {
 		return fmt.Errorf("-compare requires -bench")
+	}
+	if *cpuDir != "" || *memDir != "" {
+		return fmt.Errorf("-cpuprofile/-memprofile require -bench")
 	}
 
 	defs := experiments.All()

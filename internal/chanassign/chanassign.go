@@ -100,6 +100,18 @@ func (a *Assignment) Global(u, local int) int32 {
 	return a.l2gFlat[u*a.C+local]
 }
 
+// Flat exposes the flattened local→global label table (row stride C):
+// Flat()[u*C+local] == Global(u, local). Returns (nil, 0) when the
+// assignment is malformed and no flat table exists. Hot engine loops
+// that validate the local label themselves use it to skip Global's
+// per-call guards; callers must not modify the slice.
+func (a *Assignment) Flat() ([]int32, int) {
+	if a.l2gFlat == nil {
+		return nil, 0
+	}
+	return a.l2gFlat, a.C
+}
+
 // Local maps a global channel to node u's local label, or -1 if node u
 // cannot access that channel.
 func (a *Assignment) Local(u int, global int32) int32 { return a.globalToLocal[u][global] }

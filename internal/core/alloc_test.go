@@ -13,10 +13,21 @@ import (
 // regression for the hot path the ISSUE targets: a real CSEEK
 // discovery workload stepped by radio.Engine.Run must allocate nothing
 // per slot once warmed up — in part one (COUNT sampling) and in part
-// two (density-guided back-off) alike. Warm-up covers the transient
-// allocators: discovery records (SeekObservation), map growth, and the
-// part-two back-off buffer.
+// two (density-guided back-off) alike, on per-node and range dispatch
+// (the facade attaches a SeekBank, so the range path is the production
+// path). Warm-up covers the transient allocators: discovery records
+// (SeekObservation), map growth, and the part-two back-off buffer.
 func TestCSeekEngineZeroAllocsSteadyState(t *testing.T) {
+	for _, banked := range []bool{false, true} {
+		name := "per-node"
+		if banked {
+			name = "range"
+		}
+		t.Run(name, func(t *testing.T) { testCSeekZeroAllocs(t, banked) })
+	}
+}
+
+func testCSeekZeroAllocs(t *testing.T, banked bool) {
 	// n/c/seed are chosen so every pair discovers well inside part one
 	// (asserted below); the stretched P2Steps multiplier lengthens part
 	// two enough to host its own measurement window.
@@ -41,9 +52,15 @@ func TestCSeekEngineZeroAllocsSteadyState(t *testing.T) {
 		seeks[u] = s
 		protos[u] = s
 	}
+	if banked {
+		NewSeekBank(seeks)
+	}
 	e, err := radio.NewEngine(&radio.Network{Graph: g, Assign: a}, protos)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if e.RangeDispatch() != banked {
+		t.Fatalf("banked=%v but RangeDispatch=%v", banked, e.RangeDispatch())
 	}
 	p1 := seeks[0].PartOneSlots()
 	total := seeks[0].TotalSlots()

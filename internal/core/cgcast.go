@@ -431,6 +431,7 @@ func (d *cgcastDriver) establishEdges() error {
 		stage1[u] = s
 		protos[u] = s
 	}
+	NewSeekBank(stage1)
 	if err := d.runEngine(protos); err != nil {
 		return err
 	}
@@ -451,6 +452,7 @@ func (d *cgcastDriver) establishEdges() error {
 		stage2[u] = s
 		protos[u] = s
 	}
+	NewSeekBank(stage2)
 	if err := d.runEngine(protos); err != nil {
 		return err
 	}
@@ -728,6 +730,7 @@ func (d *cgcastDriver) exchange(payloads []any) ([]map[radio.NodeID]any, error) 
 		seeks[u] = s
 		protos[u] = s
 	}
+	NewSeekBank(seeks)
 	if err := d.runEngine(protos); err != nil {
 		return nil, err
 	}
@@ -873,6 +876,7 @@ func (s *BroadcastSession) DisseminateCtx(ctx context.Context, dD int, source ra
 		dps[u] = dp
 		protos[u] = dp
 	}
+	newDissemBank(dps)
 	e, err := radio.NewEngine(s.nw, protos)
 	if err != nil {
 		return nil, err
@@ -969,6 +973,10 @@ type dissemProto struct {
 	slot        int64
 	informedAt  int64
 	wasInformed bool // informed state latched at the start of each step
+
+	// bank/bankIdx back-reference the dissemBank (range dispatch).
+	bank    *dissemBank
+	bankIdx int
 }
 
 var _ radio.Protocol = (*dissemProto)(nil)
@@ -1014,8 +1022,18 @@ func (dp *dissemProto) Act(_ int64) radio.Action {
 
 // Observe implements radio.Protocol.
 func (dp *dissemProto) Observe(_ int64, msg *radio.Message) {
-	if msg != nil && !dp.informed {
-		if dm, ok := msg.Data.(dissemMessage); ok {
+	if msg == nil {
+		dp.observeOutcome(false, nil)
+		return
+	}
+	dp.observeOutcome(true, msg.Data)
+}
+
+// observeOutcome is Observe with the delivery already unpacked, shared
+// by both dispatch modes (the dissemBank feeds outcomes here).
+func (dp *dissemProto) observeOutcome(heard bool, data any) {
+	if heard && !dp.informed {
+		if dm, ok := data.(dissemMessage); ok {
 			dp.informed = true
 			dp.informedAt = dp.slot
 			dp.msg = dm.Body

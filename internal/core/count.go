@@ -94,12 +94,23 @@ func (l *countListener) reset() {
 // observe processes the outcome of one slot (msg nil on silence or
 // collision).
 func (l *countListener) observe(msg *radio.Message) {
-	if msg != nil {
+	if msg == nil {
+		l.observeOutcome(false, 0)
+		return
+	}
+	l.observeOutcome(true, msg.From)
+}
+
+// observeOutcome is observe with the delivery already unpacked — the
+// range-dispatch banks feed outcomes here directly, so both dispatch
+// modes share one state machine and no Message value is ever built.
+func (l *countListener) observeOutcome(heard bool, from radio.NodeID) {
+	if heard {
 		l.heardIn++
 		// Access-before-assign: in steady state the sender is already
 		// known and a map read is cheaper than a rewrite.
-		if _, ok := l.distinct[msg.From]; !ok {
-			l.distinct[msg.From] = struct{}{}
+		if _, ok := l.distinct[from]; !ok {
+			l.distinct[from] = struct{}{}
 		}
 	}
 	l.slotInRound++
@@ -136,6 +147,10 @@ type CountListen struct {
 	ch    int
 	slot  int
 	l     countListener
+
+	// bank/bankIdx back-reference the CountBank (range dispatch).
+	bank    *CountBank
+	bankIdx int
 }
 
 var _ radio.Protocol = (*CountListen)(nil)
@@ -165,6 +180,13 @@ func (c *CountListen) Observe(_ int64, msg *radio.Message) {
 	c.slot++
 }
 
+// observeOutcome is Observe with the delivery already unpacked (the
+// CountBank feeds outcomes here).
+func (c *CountListen) observeOutcome(heard bool, from radio.NodeID) {
+	c.l.observeOutcome(heard, from)
+	c.slot++
+}
+
 // Done implements radio.Protocol.
 func (c *CountListen) Done() bool { return c.slot >= c.sched.TotalSlots() }
 
@@ -188,6 +210,10 @@ type CountBroadcast struct {
 	slot        int
 	round       int // current round, tracked incrementally
 	slotInRound int
+
+	// bank/bankIdx back-reference the CountBank (range dispatch).
+	bank    *CountBank
+	bankIdx int
 }
 
 var _ radio.Protocol = (*CountBroadcast)(nil)

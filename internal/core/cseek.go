@@ -85,6 +85,11 @@ type CSeek struct {
 	counts   []int64 // per-local-channel COUNT totals from part one
 	countSum int64
 	observed map[radio.NodeID]*SeekObservation
+
+	// bank/bankIdx back-reference the SeekBank this machine is a member
+	// of (range dispatch, see bank.go); nil means per-node dispatch.
+	bank    *SeekBank
+	bankIdx int
 }
 
 type stepKind uint8
@@ -281,11 +286,23 @@ func (s *CSeek) Act(_ int64) radio.Action {
 
 // Observe implements radio.Protocol.
 func (s *CSeek) Observe(_ int64, msg *radio.Message) {
+	if msg == nil {
+		s.observeOutcome(false, 0, nil)
+		return
+	}
+	s.observeOutcome(true, msg.From, msg.Data)
+}
+
+// observeOutcome is Observe with the delivery already unpacked: the
+// SeekBank's range dispatch feeds outcomes here directly, so both
+// dispatch modes run the identical state machine (byte-identity by
+// construction) and the range path never materializes a Message.
+func (s *CSeek) observeOutcome(heard bool, from radio.NodeID, data any) {
 	switch s.stepKind {
 	case partOne:
 		if s.isListener {
-			s.counter.observe(msg)
-			s.note(msg)
+			s.counter.observeOutcome(heard, from)
+			s.note(heard, from, data)
 		}
 		s.stepSlot++
 		s.p1SlotInRnd++
@@ -303,7 +320,7 @@ func (s *CSeek) Observe(_ int64, msg *radio.Message) {
 		}
 	case partTwo:
 		if s.isListener {
-			s.note(msg)
+			s.note(heard, from, data)
 		}
 		s.stepSlot++
 		if s.stepSlot == s.sched.p2SlotsStep {
@@ -345,19 +362,19 @@ func (s *CSeek) stepsDone(k stepKind) bool {
 	return true
 }
 
-func (s *CSeek) note(msg *radio.Message) {
-	if msg == nil {
+func (s *CSeek) note(heard bool, from radio.NodeID, data any) {
+	if !heard {
 		return
 	}
 	var payload any
-	if sm, ok := msg.Data.(SeekMessage); ok {
+	if sm, ok := data.(SeekMessage); ok {
 		payload = sm.Payload
 	}
-	if obs, ok := s.observed[msg.From]; ok {
+	if obs, ok := s.observed[from]; ok {
 		obs.Payload = payload
 		return
 	}
-	s.observed[msg.From] = &SeekObservation{Slot: s.slot, Payload: payload}
+	s.observed[from] = &SeekObservation{Slot: s.slot, Payload: payload}
 }
 
 // Done implements radio.Protocol.

@@ -26,6 +26,10 @@ type Flood struct {
 	maxSlots   int64
 	informedAt int64
 	listening  bool
+
+	// bank/bankIdx back-reference the FloodBank (range dispatch).
+	bank    *FloodBank
+	bankIdx int
 }
 
 var _ radio.Protocol = (*Flood)(nil)
@@ -72,8 +76,18 @@ func (f *Flood) Act(_ int64) radio.Action {
 
 // Observe implements radio.Protocol.
 func (f *Flood) Observe(_ int64, msg *radio.Message) {
-	if f.listening && msg != nil && !f.informed {
-		if dm, ok := msg.Data.(dissemMessage); ok {
+	if msg == nil {
+		f.observeOutcome(false, nil)
+		return
+	}
+	f.observeOutcome(true, msg.Data)
+}
+
+// observeOutcome is Observe with the delivery already unpacked, shared
+// by both dispatch modes (the FloodBank feeds outcomes here).
+func (f *Flood) observeOutcome(heard bool, data any) {
+	if f.listening && heard && !f.informed {
+		if dm, ok := data.(dissemMessage); ok {
 			f.informed = true
 			f.informedAt = f.slot
 			f.msg = dm.Body
@@ -150,6 +164,7 @@ func RunFloodCtx(ctx context.Context, nw *radio.Network, p Params, d int, source
 		floods[u] = fl
 		protos[u] = fl
 	}
+	NewFloodBank(floods)
 	e, err := radio.NewEngine(nw, protos)
 	if err != nil {
 		return nil, err

@@ -24,6 +24,13 @@ type Replica struct {
 	Jammer Jammer
 	// Trace optionally observes this replica's deliveries.
 	Trace TraceFunc
+	// Topology optionally makes this replica's topology time-varying:
+	// the batch engine clones the shared base graph into a
+	// replica-private mutable view and steps the feed once per slot,
+	// exactly as Engine does for Network.Topology. Feeds must be
+	// run-scoped (one instance per replica). nil means the static
+	// model.
+	Topology TopologyFeed
 }
 
 // BatchEngine steps B independent replicas of the same static network
@@ -39,9 +46,14 @@ type Replica struct {
 // are byte-identical to running it alone on a sequential Engine. The
 // batched sweep path relies on exactly this equivalence.
 //
-// Batching covers the static model only: a TopologyFeed mutates its
-// engine's private graph clone, which is the one thing replicas cannot
-// share. Dynamic-topology runs use Engine.
+// Dynamic topologies batch too: a replica with a TopologyFeed gets a
+// private graph.Dynamic clone of the shared base graph (plus its own
+// adjacency matrix), its feed is stepped once per slot from the fused
+// loop's sequential section, and its listeners resolve against the
+// private view — the same reconciliation Engine performs, paid per
+// dynamic replica. Static replicas keep resolving against the shared
+// base graph and matrix, so mixing static and dynamic replicas in one
+// batch costs clones only for the dynamic ones.
 type BatchEngine struct {
 	g      *graph.Graph
 	assign *chanassign.Assignment
@@ -58,6 +70,35 @@ type BatchEngine struct {
 	minDone []int64
 	active  []bool
 	nActive int
+
+	// Per-replica range dispatch (see detectRangeBank): banks[r] is
+	// replica r's shared bank, nil for per-node dispatch. acts and
+	// deliv are the range scratch in replica-local node ids; the fused
+	// loop resolves replicas one at a time, so one n-sized set serves
+	// the whole batch. delivIdx records which nodes the current
+	// replica delivered into, so the post-observe reset touches only
+	// those entries (deliv holds From=-1 everywhere in between).
+	banks    []RangeProtocol
+	acts     []Action
+	deliv    []Delivery
+	delivIdx []int32
+
+	// Per-replica dynamic topology (nil/shared entries for static
+	// replicas): gs[r]/nbrs[r] are the graph and adjacency matrix
+	// replica r resolves against — the shared base pair unless the
+	// replica has a feed, in which case they are its private mutable
+	// clone (dyns[r]) and muts[r] is the pre-boxed mutator handed to
+	// the feed. countTopo[r] mirrors Engine.countTopo; up is the
+	// flattened per-node participation state driven by the feeds. The
+	// shared base g/nbr double as the partition-loss counterfactual
+	// base, exactly like Engine.baseG/baseNbr.
+	topos     []TopologyFeed
+	dyns      []*graph.Dynamic
+	gs        []*graph.Graph
+	nbrs      []*bitset.Matrix
+	muts      []TopologyMutator
+	countTopo []bool
+	up        []bool
 
 	// Flattened per-node hot state, replica-major: node u of replica r
 	// is flat id r·n+u. Same struct-of-arrays layout as Engine.
@@ -133,18 +174,47 @@ func NewBatchEngine(g *graph.Graph, assign *chanassign.Assignment, reps []Replic
 		bcastNext: make([]int32, b*n),
 		touched:   make([]int32, 0, b*u),
 		bcasters:  make([]int32, 0, b*n),
+		banks:     make([]RangeProtocol, b),
+		topos:     make([]TopologyFeed, b),
+		dyns:      make([]*graph.Dynamic, b),
+		gs:        make([]*graph.Graph, b),
+		nbrs:      make([]*bitset.Matrix, b),
+		muts:      make([]TopologyMutator, b),
+		countTopo: make([]bool, b),
+		up:        make([]bool, b*n),
 	}
 	for i := range e.chHead {
 		e.chHead[i] = -1
 	}
+	for i := range e.up {
+		e.up[i] = true
+	}
 	hasSink := false
+	hasBank := false
 	for r := range reps {
 		e.active[r] = true
 		e.doneAt[r] = make([]int64, n)
 		e.minDone[r] = -1
+		e.gs[r] = g
+		e.nbrs[r] = e.nbr
+		if reps[r].Topology != nil {
+			// Dynamic replica: private mutable clone, exactly like
+			// Engine under Network.Topology. The shared base pair keeps
+			// serving as the partition-loss counterfactual.
+			e.topos[r] = reps[r].Topology
+			e.dyns[r] = graph.NewDynamic(g)
+			e.gs[r] = e.dyns[r].Graph()
+			e.nbrs[r] = e.gs[r].NeighborMatrix()
+			e.muts[r] = batchMutator{e: e, r: r}
+		}
 		for i, p := range reps[r].Protocols {
-			if fs, ok := p.(FixedSchedule); ok {
-				e.doneAt[r][i] = fs.MinDoneSlots()
+			// FixedSchedule bounds count observed slots; a down node
+			// observes nothing, so the Done-poll skip is disabled for
+			// dynamic replicas (see Engine's identical gating).
+			if e.topos[r] == nil {
+				if fs, ok := p.(FixedSchedule); ok {
+					e.doneAt[r][i] = fs.MinDoneSlots()
+				}
 			}
 			if e.minDone[r] < 0 || e.doneAt[r][i] < e.minDone[r] {
 				e.minDone[r] = e.doneAt[r][i]
@@ -153,6 +223,20 @@ func NewBatchEngine(g *graph.Graph, assign *chanassign.Assignment, reps []Replic
 		if sink, ok := reps[r].Jammer.(ActivitySink); ok {
 			e.sinks[r] = sink
 			hasSink = true
+		}
+		if bank := detectRangeBank(reps[r].Protocols); bank != nil {
+			e.banks[r] = bank
+			hasBank = true
+		}
+	}
+	if hasBank {
+		e.acts = make([]Action, n)
+		e.deliv = make([]Delivery, n)
+		e.delivIdx = make([]int32, n)
+		// resolveReplica keeps From=-1 as the steady-state content of
+		// every entry, writing (and resetting) only actual deliveries.
+		for i := range e.deliv {
+			e.deliv[i].From = -1
 		}
 	}
 	if hasSink {
@@ -175,6 +259,84 @@ func NewBatchEngine(g *graph.Graph, assign *chanassign.Assignment, reps []Replic
 		e.rowOf[i] = -1
 	}
 	return e, nil
+}
+
+// batchMutator is the TopologyMutator handed to replica r's feed: the
+// BatchEngine analogue of engineMutator, operating on the replica's
+// private graph clone and its slice of the flattened node state.
+type batchMutator struct {
+	e *BatchEngine
+	r int
+}
+
+func (m batchMutator) N() int { return m.e.n }
+
+func (m batchMutator) NodeUp(u int) bool {
+	return u >= 0 && u < m.e.n && m.e.up[m.r*m.e.n+u]
+}
+
+func (m batchMutator) SetNodeUp(u int, up bool) bool {
+	e := m.e
+	if u < 0 || u >= e.n {
+		return false
+	}
+	f := m.r*e.n + u
+	if e.up[f] == up {
+		return false
+	}
+	e.up[f] = up
+	if e.state[f] != nodeDone {
+		if up {
+			e.state[f] = nodeLive
+		} else {
+			e.state[f] = nodeDown
+		}
+	}
+	if e.countTopo[m.r] {
+		if up {
+			e.stats[m.r].NodeJoins++
+		} else {
+			e.stats[m.r].NodeLeaves++
+		}
+	}
+	return true
+}
+
+func (m batchMutator) HasEdge(u, v int) bool { return m.e.dyns[m.r].HasEdge(u, v) }
+
+func (m batchMutator) AddEdge(u, v int) bool {
+	if !m.e.dyns[m.r].AddEdge(u, v) {
+		return false
+	}
+	if m.e.countTopo[m.r] {
+		m.e.stats[m.r].EdgeAdds++
+	}
+	return true
+}
+
+func (m batchMutator) RemoveEdge(u, v int) bool {
+	if !m.e.dyns[m.r].RemoveEdge(u, v) {
+		return false
+	}
+	if m.e.countTopo[m.r] {
+		m.e.stats[m.r].EdgeRemoves++
+	}
+	return true
+}
+
+// applyTopology steps every active dynamic replica's feed for the slot
+// about to execute, from the fused loop's sequential section — the
+// same ordering Engine.applyTopology guarantees, applied replica by
+// replica. First-Step reconciliations are uncounted per replica (see
+// Engine.countTopo).
+func (e *BatchEngine) applyTopology() {
+	for r := 0; r < e.b; r++ {
+		if e.topos[r] == nil || !e.active[r] {
+			continue
+		}
+		e.topos[r].Step(e.slot, e.muts[r])
+		e.countTopo[r] = true
+	}
 }
 
 // Slot returns the number of slots executed so far.
@@ -246,9 +408,10 @@ func (e *BatchEngine) deactivate(r int) {
 	e.nActive--
 }
 
-// step runs one fused slot: collect over every active replica, one
-// index build, resolve over every active replica.
+// step runs one fused slot: apply topology feeds, collect over every
+// active replica, one index build, resolve over every active replica.
 func (e *BatchEngine) step() {
+	e.applyTopology()
 	e.bcasters = e.bcasters[:0]
 	for r := 0; r < e.b; r++ {
 		if e.active[r] {
@@ -273,6 +436,9 @@ func (e *BatchEngine) step() {
 // collectReplica runs the collect phase for replica r, appending the
 // flat ids of its broadcasters to buf.
 func (e *BatchEngine) collectReplica(r int, buf []int32) []int32 {
+	if e.banks[r] != nil {
+		return e.collectReplicaRange(r, buf)
+	}
 	assign := e.assign
 	slot := e.slot
 	state := e.state
@@ -302,44 +468,102 @@ func (e *BatchEngine) collectReplica(r int, buf []int32) []int32 {
 	return buf
 }
 
+// collectReplicaRange is collectReplica in range-dispatch mode: one
+// ActRange per maximal run of live nodes fills e.acts (replica-local
+// ids), then a tight pass folds the actions into the flat SoA state —
+// Engine.collectRange with the replica offset bookkeeping.
+func (e *BatchEngine) collectReplicaRange(r int, buf []int32) []int32 {
+	bank := e.banks[r]
+	acts := e.acts
+	state := e.state
+	kind := e.kind
+	slot := e.slot
+	n := e.n
+	base := r * n
+	for u := 0; u < n; {
+		if state[base+u] != nodeLive {
+			kind[base+u] = Idle
+			u++
+			continue
+		}
+		runLo := u
+		for u < n && state[base+u] == nodeLive {
+			u++
+		}
+		bank.ActRange(slot, runLo, u, acts)
+	}
+	assign := e.assign
+	data := e.data
+	globalCh := e.globalCh
+	chBase := int32(r * e.universe)
+	for u := 0; u < n; u++ {
+		f := base + u
+		if state[f] != nodeLive {
+			continue
+		}
+		a := acts[u]
+		kind[f] = a.Kind
+		if a.Kind == Idle {
+			continue
+		}
+		globalCh[f] = chBase + assign.Global(u, a.Ch)
+		if a.Kind == Broadcast {
+			data[f] = a.Data
+			buf = append(buf, int32(f))
+		}
+	}
+	return buf
+}
+
 // buildIndex is Engine.buildIndex over the offset key space: channel
 // keys already encode the replica, and row bits are replica-local node
 // ids (flat id minus the replica base), so a listener's adjacency row
 // ANDs against its own replica's broadcasters only.
 func (e *BatchEngine) buildIndex(bcasters []int32) {
+	// Hoisted locals, as in Engine.buildIndex: the touched append
+	// mutates an engine field, so the compiler would otherwise reload
+	// every slice header per broadcaster.
 	rowMin := e.rowMin
 	stride := e.rowStride
 	n := int32(e.n)
+	globalCh := e.globalCh
+	chHead := e.chHead
+	chCount := e.chCount
+	bcastNext := e.bcastNext
+	rowBuf := e.rowBuf
+	rowOf := e.rowOf
+	touched := e.touched
 	for _, f := range bcasters {
-		ch := e.globalCh[f]
-		head := e.chHead[ch]
+		ch := globalCh[f]
+		head := chHead[ch]
 		if head < 0 {
-			e.touched = append(e.touched, ch)
+			touched = append(touched, ch)
 		}
-		e.bcastNext[f] = head
-		e.chHead[ch] = f
-		cnt := e.chCount[ch] + 1
-		e.chCount[ch] = cnt
-		if e.rowBuf == nil || cnt < rowMin {
+		bcastNext[f] = head
+		chHead[ch] = f
+		cnt := chCount[ch] + 1
+		chCount[ch] = cnt
+		if rowBuf == nil || cnt < rowMin {
 			continue
 		}
-		ri := e.rowOf[ch]
+		ri := rowOf[ch]
 		if cnt == rowMin {
 			ri = e.rowsUsed
 			e.rowsUsed++
-			e.rowOf[ch] = ri
-			row := e.rowBuf[int(ri)*stride : (int(ri)+1)*stride]
+			rowOf[ch] = ri
+			row := rowBuf[int(ri)*stride : (int(ri)+1)*stride]
 			clear(row)
 			base := (f / n) * n
-			for v := f; v >= 0; v = e.bcastNext[v] {
+			for v := f; v >= 0; v = bcastNext[v] {
 				lv := v - base
 				row[lv>>6] |= 1 << (uint(lv) & 63)
 			}
 			continue
 		}
 		lu := f % n
-		e.rowBuf[int(ri)*stride+int(lu>>6)] |= 1 << (uint(lu) & 63)
+		rowBuf[int(ri)*stride+int(lu>>6)] |= 1 << (uint(lu) & 63)
 	}
+	e.touched = touched
 }
 
 func (e *BatchEngine) resetIndex() {
@@ -353,11 +577,19 @@ func (e *BatchEngine) resetIndex() {
 }
 
 // resolveReplica is the resolve phase for replica r — Engine's
-// resolveAndObserve specialized to the static model, with flat-id
-// bookkeeping (channel keys and broadcaster ids carry the replica
-// offset; adjacency probes strip it).
+// resolveAndObserve with flat-id bookkeeping (channel keys and
+// broadcaster ids carry the replica offset; adjacency probes strip
+// it). Dynamic replicas resolve against their private view and run the
+// partition-loss counterfactual against the shared base topology; a
+// banked replica (range dispatch) collects outcomes into e.deliv and
+// observes via ObserveRange over maximal runs of live nodes, exactly
+// like Engine.resolveRange.
 func (e *BatchEngine) resolveReplica(r int) {
-	g := e.g
+	g := e.gs[r]
+	nbr := e.nbrs[r]
+	dynamic := e.topos[r] != nil
+	bank := e.banks[r]
+	deliv := e.deliv
 	jam := e.reps[r].Jammer
 	trace := e.reps[r].Trace
 	slot := e.slot
@@ -369,7 +601,6 @@ func (e *BatchEngine) resolveReplica(r int) {
 	chCount := e.chCount
 	chHead := e.chHead
 	bcastNext := e.bcastNext
-	nbr := e.nbr
 	rowOf := e.rowOf
 	rowBuf := e.rowBuf
 	stride := e.rowStride
@@ -377,43 +608,57 @@ func (e *BatchEngine) resolveReplica(r int) {
 	chBase := int32(r * e.universe)
 	scratch := &e.scratchMsg
 	st := &e.stats[r]
-	var idles, bcasts, listens, deliveries, collisions, jammedL int64
+	var idles, bcasts, listens, deliveries, collisions, jammedL, downs, plosses int64
+	delivIdx := e.delivIdx
+	nDeliv := 0
 	for u := 0; u < e.n; u++ {
 		f := base + int32(u)
 		if state[f] != nodeLive {
+			if state[f] == nodeDown {
+				downs++
+			}
 			continue
 		}
 		switch kind[f] {
 		case Idle:
 			idles++
-			protocols[u].Observe(slot, nil)
+			if bank == nil {
+				protocols[u].Observe(slot, nil)
+			}
 		case Broadcast:
 			bcasts++
-			protocols[u].Observe(slot, nil)
+			if bank == nil {
+				protocols[u].Observe(slot, nil)
+			}
 		case Listen:
 			listens++
 			ch := globalCh[f]
 			realCh := ch - chBase
 			if jam != nil && jam.Jammed(slot, realCh) {
 				jammedL++
-				protocols[u].Observe(slot, nil)
+				if bank == nil {
+					protocols[u].Observe(slot, nil)
+				}
 				continue
 			}
 			cnt := chCount[ch]
 			if cnt == 0 {
-				protocols[u].Observe(slot, nil)
+				if bank == nil {
+					protocols[u].Observe(slot, nil)
+				}
 				continue
 			}
 			talkers := 0
 			var from int32 = -1
+			var row []uint64
 			if ri := rowOf[ch]; ri >= 0 {
-				row := rowBuf[int(ri)*stride : (int(ri)+1)*stride]
+				row = rowBuf[int(ri)*stride : (int(ri)+1)*stride]
 				c, sole := bitset.AndCountSole(nbr.Row(u), row)
 				talkers = c
 				from = int32(sole)
 			} else if nbrs := g.Neighbors(u); int(cnt) <= len(nbrs) {
 				for v := chHead[ch]; v >= 0; v = bcastNext[v] {
-					if e.adjacent(u, v-base) {
+					if e.replicaAdjacent(g, nbr, u, v-base) {
 						talkers++
 						if talkers > 1 {
 							break
@@ -432,23 +677,76 @@ func (e *BatchEngine) resolveReplica(r int) {
 					}
 				}
 			}
+			if dynamic && !e.sameAsBase(nbr, u) {
+				// Partition-loss counterfactual against the shared base
+				// topology; see Engine.resolveAndObserve.
+				baseTalkers := 0
+				var baseFrom int32 = -1
+				if row != nil && e.nbr != nil {
+					c, sole := bitset.AndCountSole(e.nbr.Row(u), row)
+					baseTalkers, baseFrom = c, int32(sole)
+				} else {
+					for v := chHead[ch]; v >= 0; v = bcastNext[v] {
+						if e.baseAdjacent(u, v-base) {
+							baseTalkers++
+							if baseTalkers > 1 {
+								break
+							}
+							baseFrom = v - base
+						}
+					}
+				}
+				if baseTalkers == 1 && (talkers != 1 || from != baseFrom) {
+					plosses++
+				}
+			}
 			switch {
 			case talkers == 1:
 				deliveries++
-				scratch.From = NodeID(from)
-				scratch.Data = data[base+from]
 				if trace != nil {
+					scratch.From = NodeID(from)
+					scratch.Data = data[base+from]
 					trace(slot, NodeID(u), realCh, scratch)
 				}
-				protocols[u].Observe(slot, scratch)
+				if bank != nil {
+					delivIdx[nDeliv] = int32(u)
+					nDeliv++
+					deliv[u] = Delivery{From: NodeID(from), Data: data[base+from]}
+				} else {
+					scratch.From = NodeID(from)
+					scratch.Data = data[base+from]
+					protocols[u].Observe(slot, scratch)
+				}
 			case talkers > 1:
 				collisions++
-				protocols[u].Observe(slot, nil)
+				if bank == nil {
+					protocols[u].Observe(slot, nil)
+				}
 			default:
-				protocols[u].Observe(slot, nil)
+				if bank == nil {
+					protocols[u].Observe(slot, nil)
+				}
 			}
 		default:
 			panic(fmt.Sprintf("radio: replica %d node %d returned invalid action kind %d", r, u, kind[f]))
+		}
+	}
+	if bank != nil {
+		for u := 0; u < e.n; {
+			if state[base+int32(u)] != nodeLive {
+				u++
+				continue
+			}
+			runLo := u
+			for u < e.n && state[base+int32(u)] == nodeLive {
+				u++
+			}
+			bank.ObserveRange(slot, runLo, u, deliv)
+		}
+		// Restore the From=-1 invariant (and drop payload references)
+		// before the next replica reuses the scratch.
+		for i := 0; i < nDeliv; i++ {
+			deliv[delivIdx[i]] = Delivery{From: -1}
 		}
 	}
 	st.Idles += idles
@@ -457,13 +755,35 @@ func (e *BatchEngine) resolveReplica(r int) {
 	st.Deliveries += deliveries
 	st.Collisions += collisions
 	st.JammedListens += jammedL
+	st.DownSlots += downs
+	st.PartitionLosses += plosses
 }
 
-func (e *BatchEngine) adjacent(u int, v int32) bool {
+// replicaAdjacent probes adjacency in the replica's resolve view.
+func (e *BatchEngine) replicaAdjacent(g *graph.Graph, nbr *bitset.Matrix, u int, v int32) bool {
+	if nbr != nil {
+		return nbr.Get(u, int(v))
+	}
+	return g.Adjacent(u, int(v))
+}
+
+// baseAdjacent probes adjacency in the shared base topology (the
+// partition-loss counterfactual base for dynamic replicas).
+func (e *BatchEngine) baseAdjacent(u int, v int32) bool {
 	if e.nbr != nil {
 		return e.nbr.Get(u, int(v))
 	}
 	return e.g.Adjacent(u, int(v))
+}
+
+// sameAsBase reports whether listener u's adjacency row in the
+// replica's view equals its base-topology row — Engine.sameAsBase per
+// replica.
+func (e *BatchEngine) sameAsBase(nbr *bitset.Matrix, u int) bool {
+	if nbr == nil || e.nbr == nil {
+		return false
+	}
+	return bitset.EqualWords(nbr.Row(u), e.nbr.Row(u))
 }
 
 // feedActivity reports each replica's broadcast counts to its reactive

@@ -374,6 +374,26 @@ type Engine struct {
 	// contract limits message lifetime to the call.
 	scratchMsg Message
 
+	// bank is the shared RangeProtocol when every protocol is a view
+	// into one (see detectRangeBank); nil means per-node dispatch. acts
+	// and deliv are the range ABI's per-slot scratch, indexed by node.
+	// delivIdx records which nodes a resolve segment delivered into —
+	// segment [lo, hi) writes ids at delivIdx[lo:], so concurrent pool
+	// segments stay disjoint — letting the post-observe reset touch
+	// only those entries instead of rescanning the segment.
+	// listenBuf and segStats carry collect-phase results to the
+	// resolve phase in range mode: segment [lo, hi) writes its
+	// listeners' ids at listenBuf[lo:] and its live idle/broadcast/
+	// listen/down counts at segStats[4*lo:], so resolveRange visits
+	// only listeners instead of rescanning every node's kind. Segments
+	// are disjoint, so concurrent pool workers never collide.
+	bank      RangeProtocol
+	acts      []Action
+	deliv     []Delivery
+	delivIdx  []int32
+	listenBuf []int32
+	segStats  []int64
+
 	// activity feed for reactive jammers (nil when the jammer is not an
 	// ActivitySink): broadcast count per global channel, reused per slot.
 	sink     ActivitySink
@@ -450,6 +470,20 @@ func NewEngine(nw *Network, protocols []Protocol) (*Engine, error) {
 	if sink, ok := nw.Jammer.(ActivitySink); ok {
 		e.sink = sink
 		e.activity = make([]int, u)
+	}
+	if bank := detectRangeBank(protocols); bank != nil {
+		e.bank = bank
+		e.acts = make([]Action, n)
+		e.deliv = make([]Delivery, n)
+		e.delivIdx = make([]int32, n)
+		e.listenBuf = make([]int32, n)
+		e.segStats = make([]int64, 4*n)
+		// resolveRange keeps From=-1 as the steady-state content of
+		// every entry, writing (and afterwards resetting) only actual
+		// deliveries.
+		for i := range e.deliv {
+			e.deliv[i].From = -1
+		}
 	}
 	return e, nil
 }
@@ -723,6 +757,9 @@ func (e *Engine) feedActivity() {
 // input) and returning the extended slice. Callers pass a pre-sized
 // buffer so steady-state slots allocate nothing.
 func (e *Engine) collectActions(lo, hi int, buf []int32) []int32 {
+	if e.bank != nil {
+		return e.collectRange(lo, hi, buf)
+	}
 	// Hoist the hot slices into locals: the Act interface call forces
 	// field reloads otherwise.
 	assign := e.nw.Assign
@@ -758,41 +795,52 @@ func (e *Engine) collectActions(lo, hi int, buf []int32) []int32 {
 // the collect and resolve phases, costs O(broadcasters), and
 // allocates nothing (all scratch is engine-owned and pre-sized).
 func (e *Engine) buildIndex(segs [][]int32) {
+	// Hoist the index slices into locals: the touched append mutates
+	// an engine field, so without these the compiler must assume
+	// aliasing and reload every slice header per broadcaster.
 	rowMin := e.rowMin
 	stride := e.rowStride
+	globalCh := e.globalCh
+	chHead := e.chHead
+	chCount := e.chCount
+	bcastNext := e.bcastNext
+	rowBuf := e.rowBuf
+	rowOf := e.rowOf
+	touched := e.touched
 	for _, seg := range segs {
 		for _, u := range seg {
-			ch := e.globalCh[u]
-			head := e.chHead[ch]
+			ch := globalCh[u]
+			head := chHead[ch]
 			if head < 0 {
-				e.touched = append(e.touched, ch)
+				touched = append(touched, ch)
 			}
-			e.bcastNext[u] = head
-			e.chHead[ch] = u
-			cnt := e.chCount[ch] + 1
-			e.chCount[ch] = cnt
-			if e.rowBuf == nil || cnt < rowMin {
+			bcastNext[u] = head
+			chHead[ch] = u
+			cnt := chCount[ch] + 1
+			chCount[ch] = cnt
+			if rowBuf == nil || cnt < rowMin {
 				continue
 			}
 			// Dense channel: maintain its bitset row. The first
 			// broadcaster to reach rowMin claims a row from the pool,
 			// clears it and back-fills everyone threaded so far; later
 			// broadcasters set their own bit.
-			ri := e.rowOf[ch]
+			ri := rowOf[ch]
 			if cnt == rowMin {
 				ri = e.rowsUsed
 				e.rowsUsed++
-				e.rowOf[ch] = ri
-				row := e.rowBuf[int(ri)*stride : (int(ri)+1)*stride]
+				rowOf[ch] = ri
+				row := rowBuf[int(ri)*stride : (int(ri)+1)*stride]
 				clear(row)
-				for v := int32(u); v >= 0; v = e.bcastNext[v] {
+				for v := int32(u); v >= 0; v = bcastNext[v] {
 					row[v>>6] |= 1 << (uint(v) & 63)
 				}
 				continue
 			}
-			e.rowBuf[int(ri)*stride+int(u>>6)] |= 1 << (uint(u) & 63)
+			rowBuf[int(ri)*stride+int(u>>6)] |= 1 << (uint(u) & 63)
 		}
 	}
+	e.touched = touched
 }
 
 // resetIndex clears the per-slot channel index, touching only the
@@ -835,6 +883,10 @@ func (e *Engine) baseAdjacent(u int, v int32) bool {
 // delivered Message (per worker under the pool), which is why the
 // Observe contract limits message lifetime to the call.
 func (e *Engine) resolveAndObserve(lo, hi int, st *Stats, scratch *Message) {
+	if e.bank != nil {
+		e.resolveRange(lo, hi, st, scratch)
+		return
+	}
 	// Hoist the hot slices into locals: the Observe interface calls
 	// force field reloads otherwise. Counters accumulate in locals and
 	// fold into st once at the end, so the loop body never chases the

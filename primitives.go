@@ -174,6 +174,10 @@ func prepareDiscovery(s *Scenario, name string, mk func(core.Env) (core.Discover
 		// engine's hot loop.
 		dr.observers[u], _ = d.(observer)
 	}
+	// Range dispatch: CSEEK/CKSEEK node sets get a SeekBank so the
+	// engines drive them over whole node ranges (see radio's
+	// RangeProtocol); baselines stay on per-node dispatch.
+	core.BankDiscoverers(dr.ds)
 	dr.nw = s.runNetwork()
 	// Re-discovery accounting under a dynamic topology: protocols
 	// record observations on their local clocks (frozen while down),
@@ -336,13 +340,14 @@ func runDiscovery(ctx context.Context, s *Scenario, name string, mk func(core.En
 // run's outcome is byte-identical to runDiscovery with the same seed
 // (the batch engine's replica-isolation guarantee).
 //
-// Batching covers the static model only — a dynamic topology mutates
-// an engine-private graph clone, the one thing replicas cannot share —
-// so dynamic scenarios fall back to sequential runs, preserving the
-// byte-identity contract either way.
+// Dynamic topologies batch too: prepareDiscovery installs a fresh
+// run-scoped TopologyFeed per run (Scenario.runNetwork), and the batch
+// engine gives each such replica a private mutable graph clone —
+// exactly what a sequential Engine would have built. A single-run
+// batch gains nothing from fusing and runs sequentially.
 func runDiscoveryBatch(ctx context.Context, s *Scenario, name string, mk func(core.Env) (core.Discoverer, error), targets []map[radio.NodeID]bool, seeds []uint64) ([]*Result, error) {
 	results := make([]*Result, len(seeds))
-	if s.topo != nil || len(seeds) == 1 {
+	if len(seeds) == 1 {
 		for i, seed := range seeds {
 			res, err := runDiscovery(ctx, s, name, mk, targets, seed)
 			if err != nil {
@@ -360,7 +365,7 @@ func runDiscoveryBatch(ctx context.Context, s *Scenario, name string, mk func(co
 			return nil, err
 		}
 		drs[i] = dr
-		reps[i] = radio.Replica{Protocols: dr.protos, Jammer: dr.nw.Jammer, Trace: dr.nw.Trace}
+		reps[i] = radio.Replica{Protocols: dr.protos, Jammer: dr.nw.Jammer, Trace: dr.nw.Trace, Topology: dr.nw.Topology}
 	}
 	be, err := radio.NewBatchEngine(s.g, s.a, reps)
 	if err != nil {

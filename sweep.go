@@ -49,11 +49,12 @@ type SweepSpec struct {
 	// Batch, when > 1, feeds up to Batch same-variant runs through one
 	// fused engine pass (radio.BatchEngine) per worker task, amortizing
 	// graph, assignment and engine scratch across the batch. It only
-	// applies when the primitive supports batching (currently the
-	// discovery primitives) and is a pure execution strategy: results
-	// and aggregates are byte-identical to Batch == 0 at any worker
-	// count, which the batch engine's replica isolation guarantees and
-	// the test suite enforces.
+	// applies when the primitive supports batching (the discovery
+	// primitives, on static and dynamic topologies alike) and is a pure
+	// execution strategy: results and aggregates are byte-identical to
+	// Batch == 0 at any worker count, which the batch engine's replica
+	// isolation guarantees and the test suite enforces. Whether batching
+	// was actually used is reported in SweepResult.Batching.
 	Batch int
 }
 
@@ -170,6 +171,28 @@ func (rs *resolvedSweep) chunkJobs(lo, hi, batch int) []jobChunk {
 		k = end
 	}
 	return chunks
+}
+
+// batchingInfo reports how the job window [lo, hi) executes under the
+// spec's Batch setting. It is a pure function of the resolved spec and
+// the deterministic chunk layout (chunkJobs), so it needs no feedback
+// from the worker pool — the report is exact, not sampled.
+func (rs *resolvedSweep) batchingInfo(lo, hi int) *BatchingInfo {
+	info := &BatchingInfo{Requested: rs.spec.Batch}
+	_, info.Supported = rs.spec.Primitive.(batchRunner)
+	batch := rs.spec.Batch
+	if !info.Supported || batch <= 1 {
+		info.SequentialRuns = hi - lo
+		return info
+	}
+	for _, c := range rs.chunkJobs(lo, hi, batch) {
+		if n := c.k1 - c.k0; n > 1 {
+			info.BatchedRuns += n
+		} else {
+			info.SequentialRuns++
+		}
+	}
+	return info
 }
 
 // recordResult fills one Run from its primitive Result.
@@ -340,5 +363,6 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	return &SweepResult{
 		Aggregates: aggregateRuns(spec.Primitive.Name(), rs.names, rs.seeds, runs),
 		Runs:       runs,
+		Batching:   rs.batchingInfo(0, rs.total),
 	}, nil
 }

@@ -3,6 +3,7 @@ package crn_test
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"crn"
@@ -11,7 +12,8 @@ import (
 // batchSpec is a sweep over mixed variants chosen to exercise every
 // batched-execution path: a plain static variant, a static variant
 // with a run-scoped reactive adversary (per-replica ActivitySink), and
-// a dynamic-topology variant that must fall back to sequential runs.
+// a dynamic-topology variant whose replicas mutate private graph
+// clones inside the fused pass.
 func batchSpec(primitive crn.Primitive, workers, batch int) crn.SweepSpec {
 	return crn.SweepSpec{
 		Primitive: primitive,
@@ -98,5 +100,71 @@ func TestSweepBatchNonBatchingPrimitive(t *testing.T) {
 		if run.Err != "" {
 			t.Errorf("run (%s, %d) failed: %s", run.Variant, run.Index, run.Err)
 		}
+	}
+	if res.Batching == nil || res.Batching.Supported || res.Batching.Used() {
+		t.Errorf("flooding sweep should report unsupported, unbatched execution, got %+v", res.Batching)
+	}
+}
+
+// TestSweepBatchingReported pins the facade's batching report: no more
+// silent fallbacks — the result states whether fused passes actually
+// ran. Static AND dynamic variants batch (dynamic batching is real,
+// not a fallback), non-batching primitives and Batch <= 1 report
+// sequential execution, and the report never leaks into the JSON shape
+// (batched and sequential sweeps are byte-identical on the wire).
+func TestSweepBatchingReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+
+	// Batch=4 over 3 variants × 6 seeds: chunks of 4+2 per variant, all
+	// of size > 1, so every run — including the churn variant's — must
+	// execute inside a fused pass.
+	res, err := crn.Sweep(ctx, batchSpec(crn.Discovery(crn.CSeek), 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Batching
+	if b == nil || !b.Supported || b.Requested != 4 {
+		t.Fatalf("bad batching report: %+v", b)
+	}
+	if b.BatchedRuns != 18 || b.SequentialRuns != 0 {
+		t.Errorf("static+dynamic spec: want all 18 runs batched, got batched=%d sequential=%d", b.BatchedRuns, b.SequentialRuns)
+	}
+
+	// Batch=0 on the same batching-capable primitive: supported but
+	// unused.
+	res, err = crn.Sweep(ctx, batchSpec(crn.Discovery(crn.CSeek), 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = res.Batching
+	if b == nil || !b.Supported || b.Used() || b.SequentialRuns != 18 {
+		t.Errorf("Batch=0 spec: want supported, all 18 runs sequential, got %+v", b)
+	}
+
+	// Seeds=5 with Batch=4 leaves a size-1 tail chunk per variant: the
+	// report must count it as sequential (a single-run "batch" runs
+	// through the plain path).
+	spec := batchSpec(crn.Discovery(crn.CSeek), 2, 4)
+	spec.Seeds = 5
+	res, err = crn.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = res.Batching
+	if b.BatchedRuns != 12 || b.SequentialRuns != 3 {
+		t.Errorf("tail-chunk spec: want batched=12 sequential=3, got batched=%d sequential=%d", b.BatchedRuns, b.SequentialRuns)
+	}
+
+	// The report is execution metadata, not outcome: it must not
+	// surface in the serialized result.
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "Batching") || strings.Contains(string(raw), "BatchedRuns") {
+		t.Error("batching report leaked into JSON")
 	}
 }
